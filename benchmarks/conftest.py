@@ -1,0 +1,36 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Runs are cached in a session-scoped :class:`ExperimentMatrix` so overlapping
+bars (e.g. the baselines shared by Figures 4-7) execute once.  Every
+regenerated figure is printed and also written to ``benchmark_results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.experiments import ExperimentMatrix
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+@pytest.fixture(scope="session")
+def matrix() -> ExperimentMatrix:
+    return ExperimentMatrix(scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+def save_json(results_dir: pathlib.Path, name: str, figure) -> None:
+    (results_dir / f"{name}.json").write_text(figure.to_json() + "\n")

@@ -1,0 +1,61 @@
+"""§III-B1 ablation — clean victims not cached in the LLC.
+
+Paper: "we found inconsistent improvement and degradation across different
+benchmarks" — the optimization helps when clean victims have no reuse
+(streaming/read-once) and hurts when another agent re-reads the cleanly
+victimized line from the LLC.  This ablation regenerates that comparison.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.analysis.report import format_table
+from repro.workloads.registry import available_workloads
+
+
+def test_b1_clean_victim_ablation(matrix, results_dir):
+    rows = []
+    deltas = []
+    for benchmark in available_workloads():
+        with_llc = matrix.run(benchmark, "noWBcleanVic")
+        without_llc = matrix.run(benchmark, "noCleanVicToLLC")
+        delta = without_llc.speedup_over(with_llc)
+        deltas.append(delta)
+        rows.append(
+            [
+                benchmark,
+                f"{with_llc.cycles:.0f}",
+                f"{without_llc.cycles:.0f}",
+                f"{delta:+.2f}",
+                with_llc.llc_hits,
+                without_llc.llc_hits,
+            ]
+        )
+    text = format_table(
+        ["benchmark", "cycles (cached)", "cycles (dropped)", "delta %",
+         "LLC hits (cached)", "LLC hits (dropped)"],
+        rows,
+        title="§III-B1: dropping clean victims from the LLC",
+    )
+    save_and_print(results_dir, "ablation_b1_clean_victims", text)
+
+    # Paper-aligned expectation: the effect is *inconsistent* across the
+    # suite — near-zero for most benchmarks, and clearly detrimental where
+    # cleanly victimized lines are re-read (the paper's "may be detrimental
+    # to performance" case; trns reproduces it).
+    assert all(-50.0 < d < 15.0 for d in deltas), deltas
+    near_zero = sum(1 for d in deltas if abs(d) < 2.0)
+    assert near_zero >= len(deltas) // 2, deltas
+    assert min(deltas) < -1.0  # the detrimental case exists
+    # dropping clean victims can never increase LLC read hits
+    for row in rows:
+        assert row[5] <= row[4], row
+
+
+def test_bench_b1_hsto(matrix, benchmark):
+    """Wall-clock benchmark: the clean-victim-heavy benchmark under B1."""
+    result = benchmark.pedantic(
+        lambda: matrix.run("hsto", "noCleanVicToLLC"), rounds=1, iterations=1
+    )
+    assert result.ok

@@ -1,0 +1,44 @@
+"""Figure 6 — % saved simulated cycles with the precise directory.
+
+Paper: owner tracking and owner+sharer tracking over five collaborative
+benchmarks, average 14.4 % — from avoiding unnecessary probes and eliding
+LLC/memory reads when the owner (or the requester itself) holds the data.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print, save_json
+
+from repro.analysis.experiments import FIGURE6_BENCHMARKS, run_figure6
+from repro.analysis.report import bar_chart
+
+
+def test_figure6_regeneration(matrix, results_dir):
+    figure = run_figure6(matrix)
+    chart = bar_chart(
+        figure.benchmarks, figure.series["sharers"],
+        title="Figure 6 (sharers bar): % saved cycles over baseline", unit="%",
+    )
+    save_json(results_dir, "figure6", figure)
+    save_and_print(results_dir, "figure6", figure.to_text() + "\n\n" + chart)
+
+    assert figure.benchmarks == FIGURE6_BENCHMARKS
+    # headline: substantial average speedup from state tracking
+    assert figure.average("owner") > 5.0
+    assert figure.average("sharers") > 5.0
+    # the heavy task-parallel collaborators benefit most
+    by_name = dict(zip(figure.benchmarks, figure.series["sharers"]))
+    assert by_name["tq"] > 10.0
+    assert by_name["sc"] > 10.0
+    assert by_name["cedd"] > 5.0
+    # sharer tracking never substantially hurts relative to owner tracking
+    for owner_v, sharer_v in zip(figure.series["owner"], figure.series["sharers"]):
+        assert sharer_v >= owner_v - 5.0
+
+
+def test_bench_sharers_tq(matrix, benchmark):
+    """Wall-clock benchmark: the flagship workload on the precise directory."""
+    result = benchmark.pedantic(
+        lambda: matrix.run("tq", "sharers"), rounds=1, iterations=1
+    )
+    assert result.ok

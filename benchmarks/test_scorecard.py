@@ -1,0 +1,15 @@
+"""The reproduction scorecard: every headline claim, checked in one place."""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro.analysis.validate import build_scorecard, scorecard_text
+
+
+def test_scorecard(matrix, results_dir):
+    claims = build_scorecard(matrix)
+    text = scorecard_text(claims)
+    save_and_print(results_dir, "scorecard", text)
+    failures = [claim for claim in claims if not claim.holds]
+    assert not failures, [f"{c.source}: {c.statement}" for c in failures]

@@ -1,0 +1,38 @@
+"""Tables II and III — the evaluated configuration, regenerated.
+
+These are configuration tables rather than measurements; the benchmark
+component times full-system construction at the paper's geometry.
+"""
+
+from __future__ import annotations
+
+from conftest import save_and_print
+
+from repro import SystemConfig, build_system
+from repro.analysis.experiments import table2_text, table3_text
+
+
+def test_table2_cache_configuration(results_dir):
+    text = table2_text()
+    save_and_print(results_dir, "table2", text)
+    # Table II headline values
+    assert "16 MB" in text      # LLC
+    assert "2 MB" in text       # L2
+    assert "64 KB" in text      # L1D
+    assert "256 KB" in text     # TCC
+    assert "262144 entries" in text  # 256 KB of 1 B directory entries
+
+
+def test_table3_system_configuration(results_dir):
+    text = table3_text()
+    save_and_print(results_dir, "table3", text)
+    assert "4 / 8" in text      # 4 CorePairs / 8 CPUs
+    assert "3.5 GHz" in text
+    assert "1.1 GHz" in text
+
+
+def test_full_system_construction_benchmark(benchmark):
+    """Time building the full Table II/III system."""
+    system = benchmark(lambda: build_system(SystemConfig.ryzen_2200g()))
+    assert len(system.cores) == 8
+    assert len(system.cus) == 8

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Directory design-space sweep.
+
+Explores the axes §IV of the paper discusses: directory kind (stateless /
+owner / sharers), directory capacity (entries), and sharer-list width
+(limited pointers vs full map), reporting cycles, probe traffic, and
+back-invalidations for a collaborative workload.
+
+Run:  python examples/directory_design_sweep.py
+"""
+
+from repro import SystemConfig, build_system, get_workload
+from repro.analysis.report import bar_chart, format_table
+from repro.coherence.policies import PRESETS
+
+
+def run(policy, workload_name="cedd"):
+    system = build_system(SystemConfig.benchmark(policy=policy))
+    result = system.run_workload(get_workload(workload_name))
+    assert result.ok, result.check_errors[:3]
+    return result
+
+
+def main() -> None:
+    # -- axis 1: directory kind ------------------------------------------
+    rows = []
+    cycles = []
+    kinds = ["baseline", "owner", "sharers"]
+    for name in kinds:
+        result = run(PRESETS[name])
+        rows.append([name, f"{result.cycles:.0f}", result.dir_probes,
+                     result.mem_accesses])
+        cycles.append(result.cycles)
+    print(format_table(
+        ["directory", "cycles", "probes", "mem accesses"], rows,
+        title="Axis 1 — directory kind (cedd)",
+    ))
+    print()
+    print(bar_chart(kinds, cycles, title="simulated cycles", unit=" cy"))
+
+    # -- axis 2: directory capacity (precise directory as a cache) --------
+    print("\n")
+    rows = []
+    for entries in (64, 128, 256, 1024):
+        policy = PRESETS["sharers"].named(dir_entries=entries, dir_assoc=4)
+        result = run(policy)
+        rows.append([
+            entries,
+            f"{result.cycles:.0f}",
+            result.dir_probes,
+            int(result.stats.get("dir.dir_evictions", 0)),
+            int(result.stats.get("dir.backward_invalidations", 0)),
+        ])
+    print(format_table(
+        ["entries", "cycles", "probes", "dir evictions", "back-invalidations"],
+        rows,
+        title="Axis 2 — directory capacity (sharer tracking, cedd)",
+    ))
+
+    # -- axis 3: sharer-list width -----------------------------------------
+    print("\n")
+    from repro.workloads.micro import ReadersWriterSweep
+
+    workload = ReadersWriterSweep(lines=8, rounds=6)
+    rows = []
+    for pointers in (1, 2, 4, None):
+        policy = PRESETS["sharers"].named(sharer_pointer_limit=pointers)
+        system = build_system(SystemConfig.benchmark(policy=policy))
+        result = system.run_workload(workload)
+        label = "full map" if pointers is None else f"{pointers} pointers"
+        rows.append([label, f"{result.cycles:.0f}", result.dir_probes])
+    print(format_table(
+        ["sharer list", "cycles", "probes"], rows,
+        title="Axis 3 — sharer-list width (readers/writer microbenchmark)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of "Enhanced System-Level Coherence for
+Heterogeneous Unified Memory Architectures" (IISWC 2024).
+
+A pure-Python, event-driven simulator of an AMD-APU-style heterogeneous
+memory system: CPU CorePairs with a MOESI L2, a VIPER-style GPU cache
+hierarchy, a DMA engine, and — the paper's subject — the system-level
+directory backed by the shared LLC, in every variant the paper evaluates
+(stateless baseline, the §III optimizations, and the §IV precise
+owner/sharer-tracking directory).
+
+Quickstart::
+
+    from repro import SystemConfig, build_system, get_workload
+    from repro.coherence.policies import PRESETS
+
+    system = build_system(SystemConfig.small(policy=PRESETS["sharers"]))
+    result = system.run_workload(get_workload("tq"))
+    print(result.cycles, result.dir_probes, result.mem_accesses)
+"""
+
+from repro.coherence.policies import (
+    PRESETS,
+    DirectoryKind,
+    DirectoryPolicy,
+)
+from repro.system.apu import ApuSystem, SimulationResult
+from repro.system.builder import build_system
+from repro.system.config import CacheGeometry, SystemConfig
+from repro.workloads.base import KernelSpec, Workload, WorkloadBuild, WorkloadContext
+from repro.workloads.registry import available_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ApuSystem",
+    "CacheGeometry",
+    "DirectoryKind",
+    "DirectoryPolicy",
+    "KernelSpec",
+    "PRESETS",
+    "SimulationResult",
+    "SystemConfig",
+    "Workload",
+    "WorkloadBuild",
+    "WorkloadContext",
+    "available_workloads",
+    "build_system",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.analysis.energy import EnergyModel, energy_comparison, estimate_energy
+from repro.analysis.experiments import (
+    FIGURE6_BENCHMARKS,
+    ExperimentMatrix,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    table2_text,
+    table3_text,
+)
+from repro.analysis.report import bar_chart, format_table
+
+__all__ = [
+    "EnergyModel",
+    "ExperimentMatrix",
+    "FIGURE6_BENCHMARKS",
+    "bar_chart",
+    "energy_comparison",
+    "estimate_energy",
+    "format_table",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "table2_text",
+    "table3_text",
+]

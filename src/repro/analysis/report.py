@@ -1,0 +1,55 @@
+"""Text rendering of experiment results (tables and ASCII bar charts)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(cells[0], widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """A horizontal ASCII bar chart (the 'figure' of this reproduction)."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    lines = [title] if title else []
+    label_width = max((len(label) for label in labels), default=0)
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(abs(value) / peak * width))
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label:<{label_width}} | {sign}{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,110 @@
+"""Generic parameter sweeps over system configuration and policy knobs.
+
+``sweep()`` runs one workload over the cross product of configuration
+overrides and policies, returning a :class:`SweepResult` that renders as a
+table or exports as CSV — the engine behind design-space exploration like
+`examples/directory_design_sweep.py`, generalized to any knob:
+
+    sweep(
+        workload="cedd",
+        axis=("mem_latency_cycles", [80, 160, 320]),
+        policies=["baseline", "sharers"],
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.coherence.policies import PRESETS, DirectoryPolicy
+from repro.system.apu import SimulationResult
+from repro.system.builder import build_system
+from repro.system.config import SystemConfig
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+#: knobs that live on the DirectoryPolicy rather than the SystemConfig
+_POLICY_FIELDS = set(DirectoryPolicy.__dataclass_fields__)
+
+
+@dataclass
+class SweepResult:
+    workload: str
+    axis_name: str
+    axis_values: list
+    policies: list[str]
+    #: results[policy][axis_index]
+    results: dict[str, list[SimulationResult]] = field(default_factory=dict)
+
+    def metric(self, policy: str, metric: str) -> list[float]:
+        return [float(getattr(r, metric)) for r in self.results[policy]]
+
+    def to_text(self, metric: str = "cycles") -> str:
+        from repro.analysis.report import format_table
+
+        rows = []
+        for index, value in enumerate(self.axis_values):
+            row: list[object] = [value]
+            for policy in self.policies:
+                row.append(f"{getattr(self.results[policy][index], metric):.0f}")
+            rows.append(row)
+        return format_table(
+            [self.axis_name] + self.policies, rows,
+            title=f"{self.workload}: {metric} vs {self.axis_name}",
+        )
+
+    def to_csv(self, metric: str = "cycles") -> str:
+        header = ",".join([self.axis_name] + self.policies)
+        lines = [header]
+        for index, value in enumerate(self.axis_values):
+            cells = [str(value)] + [
+                str(getattr(self.results[policy][index], metric))
+                for policy in self.policies
+            ]
+            lines.append(",".join(cells))
+        return "\n".join(lines) + "\n"
+
+
+def sweep(
+    workload: str | Workload,
+    axis: tuple[str, Sequence],
+    policies: Sequence[str] = ("baseline",),
+    config_factory=SystemConfig.benchmark,
+    scale: float = 1.0,
+    verify: bool = False,
+) -> SweepResult:
+    """Run ``workload`` over ``axis`` x ``policies``.
+
+    ``axis`` is ``(field_name, values)``; the field may belong to
+    :class:`SystemConfig` (e.g. ``mem_latency_cycles``, ``num_corepairs``)
+    or to :class:`DirectoryPolicy` (e.g. ``dir_entries``, ``dir_banks``).
+    """
+    axis_name, axis_values = axis
+    instance = get_workload(workload) if isinstance(workload, str) else workload
+    result = SweepResult(
+        workload=instance.name,
+        axis_name=axis_name,
+        axis_values=list(axis_values),
+        policies=list(policies),
+    )
+    for policy_name in policies:
+        runs: list[SimulationResult] = []
+        for value in axis_values:
+            policy = PRESETS[policy_name]
+            if axis_name in _POLICY_FIELDS:
+                policy = policy.named(**{axis_name: value})
+                config = config_factory(policy=policy)
+            else:
+                config = config_factory(policy=policy)
+                config = replace(config, **{axis_name: value})
+            system = build_system(config)
+            run = system.run_workload(instance, scale=scale, verify=verify)
+            if not run.ok:
+                raise RuntimeError(
+                    f"{instance.name}/{policy_name}/{axis_name}={value} failed: "
+                    f"{run.check_errors[:3]}"
+                )
+            runs.append(run)
+        result.results[policy_name] = runs
+    return result

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``run`` — run one workload on one policy, print the headline metrics
+  (optionally energy breakdown, stats dump, protocol trace tail).
+- ``compare`` — run one workload across several policies, print a table.
+- ``figures`` — regenerate the paper's figures (Figures 4-7 + tables).
+- ``list`` — list bundled workloads and policy presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.energy import energy_comparison, estimate_energy
+from repro.analysis.experiments import (
+    ExperimentMatrix,
+    figure5_reduction,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    table2_text,
+    table3_text,
+)
+from repro.analysis.report import format_table
+from repro.coherence.policies import PRESETS
+from repro.system.builder import build_system
+from repro.system.config import SystemConfig
+from repro.workloads.registry import available_workloads, get_workload
+
+CONFIGS = {
+    "benchmark": SystemConfig.benchmark,
+    "small": SystemConfig.small,
+    "ryzen": SystemConfig.ryzen_2200g,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous system coherence reproduction (IISWC 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one workload on one policy")
+    run_p.add_argument("workload", choices=available_workloads())
+    run_p.add_argument("--policy", default="baseline", choices=sorted(PRESETS))
+    run_p.add_argument("--config", default="benchmark", choices=sorted(CONFIGS))
+    run_p.add_argument("--scale", type=float, default=1.0)
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--verify", action="store_true",
+                       help="attach the invariant monitor and value oracle")
+    run_p.add_argument("--energy", action="store_true", help="print energy breakdown")
+    run_p.add_argument("--stats", action="store_true", help="dump all counters")
+    run_p.add_argument("--trace", type=int, metavar="N", default=0,
+                       help="print the last N protocol trace events")
+    run_p.add_argument("--config-file", metavar="JSON", default=None,
+                       help="load the full SystemConfig from a JSON file "
+                            "(overrides --policy/--config)")
+    run_p.add_argument("--save-config", metavar="JSON", default=None,
+                       help="write the effective SystemConfig to a JSON file")
+
+    cmp_p = sub.add_parser("compare", help="run one workload across policies")
+    cmp_p.add_argument("workload", choices=available_workloads())
+    cmp_p.add_argument("--policies", nargs="+", default=["baseline", "sharers"],
+                       choices=sorted(PRESETS))
+    cmp_p.add_argument("--config", default="benchmark", choices=sorted(CONFIGS))
+    cmp_p.add_argument("--scale", type=float, default=1.0)
+    cmp_p.add_argument("--energy", action="store_true")
+
+    fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
+    fig_p.add_argument("--scale", type=float, default=1.0)
+
+    val_p = sub.add_parser("validate",
+                           help="check every headline claim (scorecard)")
+    val_p.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("list", help="list workloads and policies")
+    return parser
+
+
+def _run_one(args) -> int:
+    if args.config_file:
+        from repro.system.serialize import load_config
+
+        config = load_config(args.config_file)
+    else:
+        config = CONFIGS[args.config](policy=PRESETS[args.policy])
+    if args.save_config:
+        from repro.system.serialize import save_config
+
+        save_config(config, args.save_config)
+    system = build_system(config)
+    trace = None
+    if args.trace:
+        from repro.sim.tracing import ProtocolTrace
+
+        trace = ProtocolTrace().attach_system(system)
+    result = system.run_workload(
+        get_workload(args.workload), seed=args.seed, scale=args.scale,
+        verify=args.verify,
+    )
+    print(f"workload          {result.workload}")
+    print(f"policy            {args.policy}")
+    print(f"simulated cycles  {result.cycles:,.0f}")
+    print(f"directory probes  {result.dir_probes}")
+    print(f"memory accesses   {result.mem_accesses} "
+          f"(reads {result.mem_reads}, writes {result.mem_writes})")
+    print(f"network           {result.network_messages} msgs, "
+          f"{result.network_bytes} bytes")
+    print(f"LLC               {result.llc_hits} hits / {result.llc_misses} misses")
+    if args.verify:
+        status = "PASSED" if result.ok else "FAILED"
+        print(f"verification      {status}")
+        for error in result.check_errors[:10]:
+            print(f"  ! {error}")
+    if args.energy:
+        print("\nenergy breakdown")
+        print(estimate_energy(result).to_text())
+    if args.stats:
+        print("\nstatistics")
+        for key in sorted(result.stats):
+            print(f"  {key} = {result.stats[key]}")
+    if trace is not None:
+        print("\nprotocol trace (tail)")
+        print(trace.dump(limit=args.trace))
+    return 0 if result.ok else 1
+
+
+def _compare(args) -> int:
+    results = {}
+    for policy_name in args.policies:
+        system = build_system(CONFIGS[args.config](policy=PRESETS[policy_name]))
+        result = system.run_workload(get_workload(args.workload), scale=args.scale)
+        if not result.ok:
+            print(f"!! {policy_name} failed verification", file=sys.stderr)
+        results[policy_name] = result
+    baseline = results[args.policies[0]]
+    rows = [
+        [
+            name,
+            f"{r.cycles:.0f}",
+            f"{r.speedup_over(baseline):+.2f}",
+            r.dir_probes,
+            r.mem_accesses,
+            r.network_messages,
+        ]
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["policy", "cycles", "speedup %", "probes", "mem", "msgs"],
+        rows,
+        title=f"{args.workload} across directory policies",
+    ))
+    if args.energy:
+        print()
+        print(energy_comparison(results))
+    return 0
+
+
+def _figures(args) -> int:
+    matrix = ExperimentMatrix(scale=args.scale)
+    print(table2_text())
+    print()
+    print(table3_text())
+    for figure in (run_figure4(matrix), run_figure5(matrix),
+                   run_figure6(matrix), run_figure7(matrix)):
+        print("\n" + "=" * 70)
+        print(figure.to_text())
+        if figure.name == "Figure 5":
+            print(f"average reduction: {figure5_reduction(figure):.1f}% [paper: 50.4%]")
+    return 0
+
+
+def _validate(args) -> int:
+    from repro.analysis.validate import build_scorecard, scorecard_text
+
+    claims = build_scorecard(ExperimentMatrix(scale=args.scale))
+    print(scorecard_text(claims))
+    return 0 if all(claim.holds for claim in claims) else 1
+
+
+def _list() -> int:
+    print("workloads:")
+    for name in available_workloads():
+        workload = get_workload(name)
+        print(f"  {name:<6} {workload.description}")
+    print("\npolicies:")
+    for name, policy in PRESETS.items():
+        print(f"  {name:<18} kind={policy.kind.value}, "
+              f"llcWB={policy.llc_writeback}, useL3OnWT={policy.use_l3_on_wt}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_one(args)
+    if args.command == "compare":
+        return _compare(args)
+    if args.command == "figures":
+        return _figures(args)
+    if args.command == "validate":
+        return _validate(args)
+    return _list()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

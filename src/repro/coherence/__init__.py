@@ -1,0 +1,32 @@
+"""The system-level directory, LLC, and coherence transaction engine.
+
+This package is the paper's subject matter:
+
+- :mod:`repro.coherence.llc` — the shared last-level cache: a non-inclusive
+  *victim* cache, write-through in the baseline (§II-D) or write-back with
+  per-line dirty bits under the §III-C optimization.
+- :mod:`repro.coherence.policies` — the :class:`DirectoryPolicy` record
+  holding every §III/§IV knob.
+- :mod:`repro.coherence.transactions` — in-flight transaction state
+  mirroring the blocked states of Figure 2.
+- :mod:`repro.coherence.directory` — the baseline *stateless* directory
+  (broadcast probes on every request).
+- :mod:`repro.coherence.precise` — the §IV precise state-tracking directory
+  (Table I): owner tracking, optional full-map or limited-pointer sharer
+  tracking, directory-as-a-cache with back-invalidation on eviction.
+"""
+
+from repro.coherence.directory import DirectoryController
+from repro.coherence.llc import LastLevelCache
+from repro.coherence.policies import DirectoryKind, DirectoryPolicy
+from repro.coherence.precise import PreciseDirectory
+from repro.coherence.transactions import Transaction
+
+__all__ = [
+    "DirectoryController",
+    "DirectoryKind",
+    "DirectoryPolicy",
+    "LastLevelCache",
+    "PreciseDirectory",
+    "Transaction",
+]

@@ -1,0 +1,45 @@
+"""Address-interleaved directory banking (§VII: distributed directories).
+
+The paper reserves distributed directories as future work and notes the
+state-tracking directory "can be made compatible" with them.  We implement
+the standard design: N directory banks, each owning the lines whose line
+number is congruent to its index mod N, each backed by its own LLC slice.
+Requests route by address; only the TCC's Flush fence fans out to every
+bank (it orders *all* prior write-throughs).
+
+A :class:`DirectoryMap` is accepted anywhere a directory name is: a plain
+string behaves as a single-bank map.
+"""
+
+from __future__ import annotations
+
+from repro.mem.address import LINE_BYTES
+
+
+class DirectoryMap:
+    """Routes line addresses to directory bank names."""
+
+    def __init__(self, bank_names: list[str]) -> None:
+        if not bank_names:
+            raise ValueError("a directory map needs at least one bank")
+        self.bank_names = list(bank_names)
+
+    def bank_of(self, addr: int) -> str:
+        index = (addr // LINE_BYTES) % len(self.bank_names)
+        return self.bank_names[index]
+
+    def all_banks(self) -> list[str]:
+        return list(self.bank_names)
+
+    def __len__(self) -> int:
+        return len(self.bank_names)
+
+    def __repr__(self) -> str:
+        return f"DirectoryMap({self.bank_names})"
+
+
+def as_directory_map(target: "str | DirectoryMap") -> DirectoryMap:
+    """Normalize a directory name or map into a map."""
+    if isinstance(target, DirectoryMap):
+        return target
+    return DirectoryMap([target])

@@ -1,0 +1,617 @@
+"""The system-level directory controller — baseline (stateless) version.
+
+This implements the §II-D baseline of the paper: a *stateless* directory
+that, on every permission request, broadcasts probes to the CorePair L2s
+(and the TCC for write-permission requests, footnote 4) while reading the
+LLC/memory in parallel, and only responds once **all** probe acks and the
+data response have returned (Figure 2's ``*_PM`` states).  Victims write
+both the LLC and memory (write-through LLC).
+
+The §III optimizations are policy knobs on this same engine
+(:class:`~repro.coherence.policies.DirectoryPolicy`):
+
+- ``early_dirty_response`` (§III-A) responds to the requester from the
+  first dirty probe ack, for downgrade probes only.
+- ``clean_victims_to_memory=False`` (§III-B) skips the memory write for
+  clean victims; ``clean_victims_to_llc=False`` (§III-B1) drops them
+  entirely.
+- ``llc_writeback`` (§III-C) makes all victims LLC-only, with the LLC dirty
+  bit deferring memory writes to LLC eviction; ``use_l3_on_wt`` routes GPU
+  write-throughs/atomics into the LLC as well.
+
+The §IV precise directory subclasses this engine and overrides the
+*planning* hooks (:meth:`plan_request`, :meth:`grant_state`,
+:meth:`accept_victim`, :meth:`update_state_after_response`,
+:meth:`prepare_entry`) — the transaction machinery is shared.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.coherence.llc import LastLevelCache
+from repro.coherence.policies import DirectoryPolicy
+from repro.coherence.transactions import Transaction
+from repro.mem.block import LineData
+from repro.mem.main_memory import MainMemory
+from repro.protocol.atomics import apply_atomic
+from repro.protocol.messages import Message
+from repro.protocol.types import MoesiState, MsgType, ProbeType, RequesterKind
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Controller
+from repro.sim.event_queue import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+    from repro.sim.network import Network
+
+
+class ProtocolError(SimulationError):
+    """An illegal message or transition reached the directory."""
+
+
+def _apply_words(data: LineData, updates: dict[int, int] | None) -> LineData:
+    if updates:
+        for index, value in updates.items():
+            data = data.with_word(index, value)
+    return data
+
+
+@dataclass
+class RequestPlan:
+    """What a request needs before the directory can respond."""
+
+    probe_targets: list[str] = field(default_factory=list)
+    probe_type: ProbeType | None = None
+    #: does the response require line data (reads, RdBlkM fills, atomics)?
+    needs_data: bool = False
+    #: issue the LLC/memory read immediately, in parallel with probes
+    #: (the baseline always does; the precise directory defers it in O
+    #: state, expecting the owner's dirty data to make it unnecessary).
+    read_data_now: bool = False
+
+
+#: request types whose response carries line data
+_DATA_REQUESTS = frozenset(
+    {MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM, MsgType.DMA_RD, MsgType.ATOMIC}
+)
+
+
+class DirectoryController(Controller):
+    """Baseline stateless system-level directory backed by the LLC."""
+
+    kind_name = "dir"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        clock: ClockDomain,
+        network: "Network",
+        llc: LastLevelCache,
+        memory: MainMemory,
+        policy: DirectoryPolicy | None = None,
+        latency_cycles: float = 20.0,
+        service_cycles: float = 2.0,
+    ) -> None:
+        super().__init__(sim, name, clock, service_cycles=service_cycles)
+        self.network = network
+        self.llc = llc
+        self.memory = memory
+        self.policy = policy or DirectoryPolicy()
+        self.latency_cycles = latency_cycles
+        self._active: dict[int, Transaction] = {}
+        self._waiting: dict[int, deque[Message]] = {}
+        #: per line: caches whose next Vic* must be dropped because a
+        #: system-level write already consumed (superseded) its data via a
+        #: probe ack out of the victim buffer.
+        self._stale_victims: dict[int, set[str]] = {}
+        #: admission queue when dir_max_transactions (the TBE count) is hit
+        self._admission: deque[Message] = deque()
+        self._l2_names: list[str] | None = None
+        self._tcc_names: list[str] | None = None
+        #: verification hook: called with (self, addr) when a transaction
+        #: completes.  Installed by repro.verify.
+        self.on_transaction_complete: Callable[["DirectoryController", int], None] | None = None
+        #: optional ProtocolTrace (repro.sim.tracing) for protocol debugging
+        self.trace = None
+
+    # -- peers ----------------------------------------------------------------
+
+    @property
+    def l2_names(self) -> list[str]:
+        if self._l2_names is None:
+            self._l2_names = sorted(self.network.endpoints_of_kind("l2"))
+        return self._l2_names
+
+    @property
+    def tcc_names(self) -> list[str]:
+        if self._tcc_names is None:
+            self._tcc_names = sorted(self.network.endpoints_of_kind("tcc"))
+        return self._tcc_names
+
+    def all_cache_names(self) -> list[str]:
+        return self.l2_names + self.tcc_names
+
+    # -- message dispatch ------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        if msg.mtype is MsgType.PROBE_ACK:
+            self._on_probe_ack(msg)
+        elif msg.mtype is MsgType.UNBLOCK:
+            self._on_unblock(msg)
+        elif msg.mtype.is_request:
+            self._accept_request(msg)
+        else:
+            raise ProtocolError(f"directory received unexpected {msg!r}")
+
+    def _accept_request(self, msg: Message) -> None:
+        self.stats.inc("requests")
+        self.stats.inc(f"requests.{msg.mtype.value}")
+        if self.trace is not None:
+            self.trace.record(self.now, self.name, "request", msg.addr,
+                              f"{msg.mtype.value} from {msg.src}")
+        if msg.addr in self._active:
+            self.stats.inc("requests_queued")
+            self._waiting.setdefault(msg.addr, deque()).append(msg)
+            return
+        limit = self.policy.dir_max_transactions
+        if limit is not None and len(self._active) >= limit:
+            # out of transaction buffers (TBEs): stall at admission
+            self.stats.inc("admission_stalls")
+            self._admission.append(msg)
+            return
+        self._start(msg)
+
+    def _start(self, msg: Message) -> None:
+        txn = Transaction(msg)
+        txn.started_at = self.now
+        self._active[msg.addr] = txn
+        self.schedule(self.latency_cycles, lambda: self._launch(txn))
+
+    # -- transaction launch ------------------------------------------------------
+
+    def _launch(self, txn: Transaction) -> None:
+        if not self.prepare_entry(txn):
+            return  # parked; the entry-eviction path will relaunch us
+        mtype = txn.request.mtype
+        if mtype.is_victim:
+            self._handle_victim(txn)
+        elif mtype is MsgType.FLUSH:
+            self._handle_flush(txn)
+        else:
+            self._handle_permission(txn)
+
+    def relaunch(self, txn: Transaction) -> None:
+        """Re-enter :meth:`_launch` after an entry eviction made space."""
+        self._launch(txn)
+
+    def _handle_permission(self, txn: Transaction) -> None:
+        plan = self.plan_request(txn)
+        txn.needs_data = plan.needs_data
+        targets = [t for t in plan.probe_targets if t != txn.request.requester]
+        if targets:
+            if plan.probe_type is None:
+                raise ProtocolError(f"probe targets without a probe type for {txn!r}")
+            self._send_probes(txn, targets, plan.probe_type)
+        if plan.needs_data and plan.read_data_now:
+            self._read_llc_then_memory(txn)
+        self._maybe_finish_permission(txn)
+
+    def _send_probes(self, txn: Transaction, targets: list[str], ptype: ProbeType) -> None:
+        txn.pending_acks += len(targets)
+        self.stats.inc("probes_sent", len(targets))
+        self.stats.inc(
+            "probes_sent.inv" if ptype is ProbeType.INVALIDATE else "probes_sent.down",
+            len(targets),
+        )
+        if self.trace is not None:
+            self.trace.record(
+                self.now, self.name, "probe", txn.addr,
+                f"{ptype.value} -> {','.join(targets)}",
+            )
+        for target in targets:
+            self.network.send(Message.probe(self.name, target, txn.addr, ptype, txn.tid))
+
+    # -- data fetch (LLC backed by memory) ----------------------------------------
+
+    def _read_llc_then_memory(self, txn: Transaction) -> None:
+        txn.read_issued = True
+
+        def after_llc() -> None:
+            hit, data = self.llc.read(txn.addr)
+            if hit:
+                txn.fetched_data = data
+                txn.data_ready = True
+                self._maybe_finish_permission(txn)
+                return
+            txn.mem_outstanding = True
+            self._mem_read(txn.addr, lambda mem_data: self._on_mem_data(txn, mem_data))
+
+        self.schedule(self.llc.latency_cycles, after_llc)
+
+    def _on_mem_data(self, txn: Transaction, data: LineData) -> None:
+        txn.mem_outstanding = False
+        if not txn.data_ready:
+            txn.fetched_data = data
+            txn.data_ready = True
+        self._maybe_finish_permission(txn)
+        self._maybe_complete(txn)
+
+    def _mem_read(self, addr: int, callback: Callable[[LineData], None]) -> None:
+        self.stats.inc("mem_reads")
+        self.memory.read(addr, callback)
+
+    def _mem_write(self, addr: int, data: LineData) -> None:
+        self.stats.inc("mem_writes")
+        self.memory.write(addr, data)
+
+    # -- probe acks / unblocks ------------------------------------------------------
+
+    def _on_probe_ack(self, msg: Message) -> None:
+        txn = self._active.get(msg.addr)
+        if txn is None or msg.tid != txn.tid:
+            raise ProtocolError(f"orphan probe ack {msg!r}")
+        if txn.pending_acks <= 0:
+            raise ProtocolError(f"unexpected extra probe ack {msg!r} for {txn!r}")
+        txn.pending_acks -= 1
+        if msg.had_copy:
+            txn.any_copy_acked = True
+        if msg.from_victim:
+            txn.victim_ack_sources.add(msg.src)
+        if msg.dirty and msg.data is not None:
+            if txn.dirty_data is not None:
+                raise ProtocolError(f"two dirty probe acks for {txn!r}")
+            txn.dirty_data = msg.data
+        if msg.word_updates:
+            # word-granular dirty forwarding (WB-mode TCC/TCP probes)
+            txn.partial_updates.update(msg.word_updates)
+        if txn.pending_acks == 0 and txn.on_all_acks is not None:
+            hook, txn.on_all_acks = txn.on_all_acks, None
+            hook()
+            return
+        self._maybe_finish_permission(txn)
+        self._maybe_complete(txn)
+
+    def _on_unblock(self, msg: Message) -> None:
+        txn = self._active.get(msg.addr)
+        if txn is None or msg.tid != txn.tid:
+            raise ProtocolError(f"orphan unblock {msg!r}")
+        if not txn.awaiting_unblock:
+            raise ProtocolError(f"unblock for non-blocked {txn!r}")
+        txn.awaiting_unblock = False
+        self._maybe_complete(txn)
+
+    # -- permission completion -------------------------------------------------------
+
+    def _maybe_finish_permission(self, txn: Transaction) -> None:
+        if txn.responded or txn.is_eviction:
+            return
+        mtype = txn.request.mtype
+        if mtype.is_victim or mtype is MsgType.FLUSH:
+            return
+        # §III-A: early response from the first dirty ack, downgrades only.
+        if (
+            self.policy.early_dirty_response
+            and mtype.is_read_permission
+            and txn.dirty_data is not None
+        ):
+            self.stats.inc("early_dirty_responses")
+            self._respond(txn)
+            return
+        if txn.pending_acks > 0:
+            return
+        if txn.needs_data and txn.dirty_data is None and not txn.data_ready:
+            if not txn.read_issued:
+                # Deferred read: the precise directory expected the owner's
+                # dirty data but the owner turned out to hold E (clean).
+                self.stats.inc("deferred_data_reads")
+                self._read_llc_then_memory(txn)
+            return
+        self._respond(txn)
+
+    def _respond(self, txn: Transaction) -> None:
+        txn.responded = True
+        req = txn.request
+        mtype = req.mtype
+        if self.trace is not None:
+            self.trace.record(self.now, self.name, "respond", txn.addr,
+                              f"{mtype.value} -> {req.requester} ({txn.blocked_on})")
+        data = txn.dirty_data if txn.dirty_data is not None else txn.fetched_data
+        if mtype in (MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM):
+            state = self.grant_state(txn)
+            if data is None and txn.needs_data:
+                raise ProtocolError(f"responding without data for {txn!r}")
+            # data may legitimately be None for an elided-read upgrade
+            # (RdBlkM from the tracked holder): the requester keeps its copy.
+            # Word-granular dirty data forwarded by probed VI caches rides
+            # along and is applied by the receiver on top of its base.
+            self.network.send(
+                Message(
+                    MsgType.DATA_RESP, self.name, req.requester, txn.addr,
+                    data=data, state=state,
+                    word_updates=dict(txn.partial_updates) or None,
+                    dirty=txn.dirty_data is not None, tid=txn.tid,
+                )
+            )
+            if req.requester_kind is RequesterKind.CPU_L2:
+                txn.awaiting_unblock = True
+        elif mtype is MsgType.DMA_RD:
+            if data is None:
+                raise ProtocolError(f"DMA read without data for {txn!r}")
+            data = _apply_words(data, txn.partial_updates)
+            resp = Message(MsgType.DMA_RESP, self.name, req.requester, txn.addr,
+                           data=data, tid=txn.tid)
+            self.network.send(resp)
+        elif mtype is MsgType.DMA_WR:
+            self._commit_dma_write(txn)
+        elif mtype is MsgType.WT:
+            self._commit_write_through(txn)
+        elif mtype is MsgType.ATOMIC:
+            self._commit_atomic(txn, data)
+        else:  # pragma: no cover - dispatch is exhaustive
+            raise ProtocolError(f"cannot respond to {txn!r}")
+        self.update_state_after_response(txn)
+        self._maybe_complete(txn)
+
+    def _commit_dma_write(self, txn: Transaction) -> None:
+        """DMA writes go to memory and invalidate any LLC copy (the paper:
+        DMA accesses do not update the L3)."""
+        req = txn.request
+        if req.data is None:
+            raise ProtocolError(f"DMA write without data: {req!r}")
+        self._mark_superseded_victims(txn)
+        self.llc.invalidate(txn.addr)  # dropped copy is superseded by req.data
+        self._mem_write(txn.addr, req.data)
+        self.network.send(
+            Message(MsgType.DMA_RESP, self.name, req.requester, txn.addr, tid=txn.tid)
+        )
+
+    def _commit_write_through(self, txn: Transaction) -> None:
+        """GPU write-through / write-back: system-visible write (full line
+        for TCC write-backs, word-masked for streaming write-throughs)."""
+        req = txn.request
+        self._mark_superseded_victims(txn)
+        if req.data is not None:
+            self._system_write(txn.addr, _apply_words(req.data, txn.partial_updates))
+        elif req.word_updates:
+            if txn.dirty_data is not None:
+                # A CPU cache held the line dirty (false sharing): merge the
+                # masked write onto the probed-out dirty data so the CPU's
+                # words in the rest of the line are not lost.  Word-granular
+                # dirty data from probed VI caches merges the same way, with
+                # the committing WT winning overlaps.
+                merged = _apply_words(txn.dirty_data, txn.partial_updates)
+                merged = _apply_words(merged, req.word_updates)
+                self._system_write(txn.addr, merged)
+            else:
+                combined = dict(txn.partial_updates)
+                combined.update(req.word_updates)
+                self._system_write_masked(txn.addr, combined)
+        else:
+            raise ProtocolError(f"WT without data: {req!r}")
+        self.network.send(
+            Message(MsgType.WT_ACK, self.name, req.requester, txn.addr, tid=txn.tid)
+        )
+
+    def _commit_atomic(self, txn: Transaction, base: LineData | None) -> None:
+        """System-scope atomic, executed here for full-system visibility."""
+        req = txn.request
+        if base is None:
+            raise ProtocolError(f"atomic without base data: {txn!r}")
+        base = _apply_words(base, txn.partial_updates)
+        # dirty words the requesting TCC carried along when it bypassed
+        # (invalidated) its own modified copy
+        base = _apply_words(base, req.word_updates)
+        self._mark_superseded_victims(txn)
+        new_data, old_value = apply_atomic(
+            base, req.word, req.atomic_op, req.operand, req.compare
+        )
+        self._system_write(txn.addr, new_data)
+        self.network.send(
+            Message(
+                MsgType.ATOMIC_RESP, self.name, req.requester, txn.addr,
+                result=old_value, tid=txn.tid,
+            )
+        )
+
+    def _mark_superseded_victims(self, txn: Transaction) -> None:
+        """After a system-level write consumed victim-buffer data via probe
+        acks, the still-in-flight Vic* messages from those caches carry
+        *older* data than what was just committed — they must be dropped on
+        arrival or they would clobber the write."""
+        if txn.victim_ack_sources:
+            self._stale_victims.setdefault(txn.addr, set()).update(
+                txn.victim_ack_sources
+            )
+
+    def _system_write(self, addr: int, data: LineData) -> None:
+        """A write at system-level visibility (WT/atomic commit point).
+
+        With ``useL3OnWT`` the LLC is written (and, unless the LLC is
+        write-back, memory as well).  Without it the write bypasses the LLC
+        straight to memory; a stale LLC copy must then be dropped (its dirty
+        data, if any, is superseded by this full-line write).
+        """
+        if self.policy.use_l3_on_wt:
+            dirty_in_llc = self.policy.llc_writeback
+            displaced = self.llc.write_through(addr, data, dirty=dirty_in_llc)
+            if displaced is not None:
+                self._mem_write(displaced.addr, displaced.data)
+            if not self.policy.llc_writeback:
+                self._mem_write(addr, data)
+        else:
+            # Bypass mode: memory is the destination; an existing LLC copy
+            # is updated in place so it never goes stale (see DESIGN.md).
+            self.llc.update_in_place(addr, data, dirty=False)
+            self._mem_write(addr, data)
+
+    def _system_write_masked(self, addr: int, updates: dict[int, int]) -> None:
+        """A partial-line system-visible write.
+
+        The LLC copy (if any) is always kept coherent by applying the words
+        in place; a write-back LLC under ``useL3OnWT`` absorbs the write,
+        every other combination also writes memory.  A partial line can
+        never *allocate* in the LLC.
+        """
+        absorb = self.policy.use_l3_on_wt and self.policy.llc_writeback
+        hit = self.llc.apply_words(addr, updates, dirty=absorb)
+        if hit and absorb:
+            return
+        self.stats.inc("mem_writes")
+        self.memory.write_words(addr, updates)
+
+    # -- victims ---------------------------------------------------------------------
+
+    def _handle_victim(self, txn: Transaction) -> None:
+        req = txn.request
+        if req.data is None:
+            raise ProtocolError(f"victim without data: {req!r}")
+        superseded = self._stale_victims.get(txn.addr)
+        if superseded is not None and req.requester in superseded:
+            superseded.discard(req.requester)
+            if not superseded:
+                del self._stale_victims[txn.addr]
+            accepted = False
+            self.stats.inc("superseded_victims_dropped")
+        else:
+            accepted = self.accept_victim(txn)
+
+        def finish() -> None:
+            if accepted:
+                self._write_victim(req)
+            else:
+                self.stats.inc("stale_victims_dropped")
+            self.network.send(
+                Message(MsgType.WB_ACK, self.name, req.requester, txn.addr, tid=txn.tid)
+            )
+            txn.responded = True
+            self.update_state_after_response(txn)
+            self._maybe_complete(txn)
+
+        self.schedule(self.llc.latency_cycles, finish)
+
+    def _write_victim(self, req: Message) -> None:
+        dirty = req.mtype is MsgType.VIC_DIRTY
+        policy = self.policy
+        displaced = None
+        if dirty or policy.clean_victims_to_llc:
+            displaced = self.llc.write_victim(req.addr, req.data, dirty=dirty)
+        if displaced is not None:
+            # Write-back LLC evicting a dirty line: the deferred memory write.
+            self._mem_write(displaced.addr, displaced.data)
+        if policy.llc_writeback:
+            return  # no victim writes memory directly (§III-C)
+        if dirty or policy.clean_victims_to_memory:
+            self._mem_write(req.addr, req.data)
+
+    # -- flush --------------------------------------------------------------------------
+
+    def _handle_flush(self, txn: Transaction) -> None:
+        req = txn.request
+        self.network.send(
+            Message(MsgType.FLUSH_ACK, self.name, req.requester, txn.addr, tid=txn.tid)
+        )
+        txn.responded = True
+        self._maybe_complete(txn)
+
+    # -- completion -----------------------------------------------------------------------
+
+    def _maybe_complete(self, txn: Transaction) -> None:
+        if not txn.responded or not txn.settled:
+            return
+        current = self._active.get(txn.addr)
+        if current is not txn:
+            return  # already completed
+        del self._active[txn.addr]
+        elapsed = self.now - txn.started_at
+        self.stats.inc("transactions_completed")
+        self.stats.inc("latency_ticks", elapsed)
+        per_type = self.stats.child("txn")
+        per_type.inc(f"{txn.request.mtype.value}.count")
+        per_type.inc(f"{txn.request.mtype.value}.latency_ticks", elapsed)
+        if self.trace is not None:
+            self.trace.record(self.now, self.name, "complete", txn.addr,
+                              f"{txn.request.mtype.value} tid={txn.tid}")
+        if txn.on_complete is not None:
+            txn.on_complete()
+        if self.on_transaction_complete is not None:
+            self.on_transaction_complete(self, txn.addr)
+        queue = self._waiting.get(txn.addr)
+        if queue:
+            nxt = queue.popleft()
+            if not queue:
+                del self._waiting[txn.addr]
+            self._start(nxt)
+        self._admit()
+
+    def _admit(self) -> None:
+        """Start admission-stalled requests while TBEs are free."""
+        limit = self.policy.dir_max_transactions
+        if limit is None:
+            return
+        pending = len(self._admission)
+        while pending and len(self._active) < limit:
+            pending -= 1
+            msg = self._admission.popleft()
+            if msg.addr in self._active:
+                self._waiting.setdefault(msg.addr, deque()).append(msg)
+            else:
+                self._start(msg)
+
+    # -- planning hooks (overridden by the precise directory) ------------------------------
+
+    def plan_request(self, txn: Transaction) -> RequestPlan:
+        """Baseline: broadcast probes on everything; read data in parallel.
+
+        Read-permission requests send downgrade probes to the L2s only (the
+        TCC never forwards data and cannot be dirty towards a reader);
+        write-permission requests broadcast invalidations to L2s and TCC
+        (footnote 4 of the paper).
+        """
+        mtype = txn.request.mtype
+        plan = RequestPlan(needs_data=mtype in _DATA_REQUESTS)
+        plan.read_data_now = plan.needs_data
+        if mtype.is_write_permission:
+            plan.probe_targets = self.all_cache_names()
+            plan.probe_type = ProbeType.INVALIDATE
+        elif mtype.is_read_permission:
+            plan.probe_targets = list(self.l2_names)
+            plan.probe_type = ProbeType.DOWNGRADE
+        return plan
+
+    def grant_state(self, txn: Transaction) -> MoesiState:
+        """Baseline grant: E only when no cache acked holding a copy."""
+        mtype = txn.request.mtype
+        if mtype is MsgType.RDBLKM:
+            return MoesiState.M
+        if mtype is MsgType.RDBLKS:
+            return MoesiState.S
+        if txn.dirty_data is not None or txn.any_copy_acked:
+            return MoesiState.S
+        return MoesiState.E
+
+    def accept_victim(self, txn: Transaction) -> bool:
+        """Baseline: the stateless directory writes every victim."""
+        return True
+
+    def prepare_entry(self, txn: Transaction) -> bool:
+        """Ensure tracking space exists.  Baseline tracks nothing."""
+        return True
+
+    def update_state_after_response(self, txn: Transaction) -> None:
+        """State bookkeeping after the response.  Baseline keeps none."""
+
+    # -- deadlock/debug ------------------------------------------------------------------------
+
+    def pending_work(self) -> str | None:
+        if self._active:
+            sample = next(iter(self._active.values()))
+            return f"{len(self._active)} active transactions (e.g. {sample!r})"
+        if self._waiting:
+            return f"{sum(map(len, self._waiting.values()))} queued requests"
+        if self._admission:
+            return f"{len(self._admission)} admission-stalled requests"
+        return None

@@ -1,0 +1,83 @@
+"""Tracking entries for the precise directory.
+
+An entry records the owner (the cache whose copy may be M/O/E) and the
+sharers.  Two tracking granularities exist, matching §IV of the paper:
+
+- **owner tracking** (§IV-A): sharer *identities* are not kept, only a
+  count, so invalidations to shared lines must broadcast.  The count lets
+  the directory retire entries when the last sharer's VicClean arrives.
+- **sharer tracking** (§IV-B): a full-map set of sharer names (or a
+  limited-pointer set with an overflow flag, Table I footnote b), enabling
+  multicast invalidations and back-invalidations.
+"""
+
+from __future__ import annotations
+
+
+class DirEntry:
+    """Owner/sharer bookkeeping attached to a directory-cache line."""
+
+    __slots__ = ("owner", "sharers", "sharer_count", "overflow", "_pointer_limit")
+
+    def __init__(self, track_identities: bool, pointer_limit: int | None = None) -> None:
+        self.owner: str | None = None
+        #: sharer identities, or None under owner-only tracking
+        self.sharers: set[str] | None = set() if track_identities else None
+        self.sharer_count = 0
+        #: limited-pointer overflow: untracked sharers exist, so
+        #: invalidations must broadcast (footnote b of Table I).
+        self.overflow = False
+        self._pointer_limit = pointer_limit if track_identities else None
+
+    def add_sharer(self, name: str) -> None:
+        self.sharer_count += 1
+        if self.sharers is None:
+            return
+        if name in self.sharers:
+            self.sharer_count -= 1  # already tracked; count follows the set
+            return
+        if self._pointer_limit is not None and len(self.sharers) >= self._pointer_limit:
+            self.overflow = True
+            return
+        self.sharers.add(name)
+
+    def remove_sharer(self, name: str) -> None:
+        if self.sharers is not None and not self.overflow:
+            # exact tracking: the count mirrors the set, so removing a
+            # name that was never tracked must not drift the count
+            if name in self.sharers:
+                self.sharers.discard(name)
+                self.sharer_count -= 1
+            return
+        # owner-only or overflowed tracking: identities are (partially)
+        # unknown, so decrement conservatively
+        if self.sharers is not None:
+            self.sharers.discard(name)
+        if self.sharer_count > 0:
+            self.sharer_count -= 1
+
+    def clear_sharers(self) -> None:
+        if self.sharers is not None:
+            self.sharers.clear()
+        self.sharer_count = 0
+        self.overflow = False
+
+    def is_sharer(self, name: str) -> bool:
+        """Conservatively: is ``name`` possibly a sharer?"""
+        if self.sharers is None or self.overflow:
+            return self.sharer_count > 0
+        return name in self.sharers
+
+    @property
+    def tracks_identities(self) -> bool:
+        return self.sharers is not None
+
+    @property
+    def multicast_possible(self) -> bool:
+        """Can invalidations be narrowed to a tracked sharer list?"""
+        return self.sharers is not None and not self.overflow
+
+    def __repr__(self) -> str:
+        who = sorted(self.sharers) if self.sharers is not None else f"~{self.sharer_count}"
+        flags = "+overflow" if self.overflow else ""
+        return f"DirEntry(owner={self.owner}, sharers={who}{flags})"

@@ -1,0 +1,146 @@
+"""Directory/LLC policy knobs — one field per idea in the paper.
+
+The experiment harness builds systems that differ *only* in one of these
+records, so every measured delta is attributable to a single knob, exactly
+like the per-optimization bars of Figures 4-7.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class DirectoryKind(enum.Enum):
+    """Which directory implementation services the system."""
+
+    STATELESS = "stateless"   # the gem5 baseline (§II-D)
+    OWNER = "owner"           # precise directory, owner tracking only (§IV-A)
+    SHARERS = "sharers"       # precise directory, owner + sharer tracking (§IV-B)
+
+
+@dataclass(frozen=True)
+class DirectoryPolicy:
+    """Every §III / §IV knob, with baseline defaults.
+
+    Baseline = stateless directory, write-through LLC, clean and dirty
+    victims written both to the LLC and to memory, probes broadcast on every
+    permission request.
+    """
+
+    kind: DirectoryKind = DirectoryKind.STATELESS
+
+    #: §III-A: respond to the requester from the first dirty probe ack
+    #: instead of waiting for all acks plus the LLC/memory response.
+    early_dirty_response: bool = False
+
+    #: §III-B: when False, clean victims are written to the LLC only,
+    #: saving the memory write (dirty victims unaffected).
+    clean_victims_to_memory: bool = True
+
+    #: §III-B1: when False, clean victims are not cached in the LLC either
+    #: (they are "lost in the air").
+    clean_victims_to_llc: bool = True
+
+    #: §III-C: write-back LLC. Victims (clean or dirty) only write the LLC;
+    #: the LLC line's dirty bit defers the memory write to LLC eviction.
+    #: Implies clean_victims_to_memory is ignored (no victim writes memory).
+    llc_writeback: bool = False
+
+    #: gem5's useL3OnWT: GPU write-throughs and system-scope atomics also
+    #: write the LLC instead of bypassing it straight to memory.
+    use_l3_on_wt: bool = False
+
+    #: §IV-B: cap on tracked sharers (limited-pointer directory).  None
+    #: means a full-map bitmap; on overflow the entry falls back to
+    #: broadcasting invalidations (Table I footnote b).
+    sharer_pointer_limit: int | None = None
+
+    #: Precise directory geometry: number of tracking entries and ways.
+    dir_entries: int = 262_144  # 256 KB of 1 B entries (Table II)
+    dir_assoc: int = 32
+
+    #: §VII future work: directory replacement prefers unmodified entries
+    #: with the fewest sharers (state-aware PLRU) over plain Tree-PLRU.
+    state_aware_dir_replacement: bool = False
+
+    #: Whether DMA requests update precise-directory state (see DESIGN.md;
+    #: False keeps the paper's literal "no state alteration" and relies on
+    #: the safe-but-stale probe fallback path).
+    dma_updates_dir_state: bool = True
+
+    #: §VII (second idea): on a VicDirty from the owner, the default keeps
+    #: the remaining dirty sharers tracked (the O→S transition of Table I —
+    #: "need not invalidate dirty sharers").  The conservative alternative
+    #: invalidates them and deallocates the entry, costing extra probes.
+    vicdirty_invalidates_sharers: bool = False
+
+    #: Future work from the paper's conclusion: address regions guaranteed
+    #: read-only are not tracked by the precise directory — reads are
+    #: served without allocating entries (or probing).  Writes into a
+    #: declared region fall back to broadcast invalidations for safety.
+    readonly_regions: tuple[tuple[int, int], ...] = ()
+
+    #: §VII (third idea): number of address-interleaved directory banks
+    #: (1 = the paper's monolithic directory).
+    dir_banks: int = 1
+
+    #: Maximum concurrent transactions per directory bank (gem5's TBE
+    #: count).  None = unbounded.  Requests beyond the limit stall in the
+    #: directory's admission queue.
+    dir_max_transactions: int | None = None
+
+    def named(self, **changes: object) -> "DirectoryPolicy":
+        """A copy with some knobs changed."""
+        return replace(self, **changes)
+
+    @property
+    def is_precise(self) -> bool:
+        return self.kind is not DirectoryKind.STATELESS
+
+    @property
+    def tracks_sharers(self) -> bool:
+        return self.kind is DirectoryKind.SHARERS
+
+    def validate(self) -> None:
+        if self.dir_entries < 1 or self.dir_assoc < 1:
+            raise ValueError("directory geometry must be positive")
+        if self.sharer_pointer_limit is not None and self.sharer_pointer_limit < 1:
+            raise ValueError("sharer_pointer_limit must be >= 1 or None")
+        if self.sharer_pointer_limit is not None and not self.tracks_sharers:
+            raise ValueError("sharer_pointer_limit requires kind=SHARERS")
+        if self.dir_banks < 1:
+            raise ValueError("dir_banks must be >= 1")
+        if self.dir_max_transactions is not None and self.dir_max_transactions < 1:
+            raise ValueError("dir_max_transactions must be >= 1 or None")
+        for start, end in self.readonly_regions:
+            if end <= start:
+                raise ValueError(f"bad read-only region [{start:#x}, {end:#x})")
+
+    def is_readonly(self, addr: int) -> bool:
+        return any(start <= addr < end for start, end in self.readonly_regions)
+
+
+# Named policy presets used throughout the benchmarks, mirroring the bar
+# labels of Figures 4-7.
+BASELINE = DirectoryPolicy()
+EARLY_DIRTY = BASELINE.named(early_dirty_response=True)
+NO_WB_CLEAN_VIC = BASELINE.named(clean_victims_to_memory=False)
+NO_CLEAN_VIC_TO_LLC = BASELINE.named(
+    clean_victims_to_memory=False, clean_victims_to_llc=False
+)
+LLC_WB = BASELINE.named(clean_victims_to_memory=False, llc_writeback=True)
+LLC_WB_USEL3 = LLC_WB.named(use_l3_on_wt=True)
+OWNER_TRACKING = LLC_WB_USEL3.named(kind=DirectoryKind.OWNER)
+SHARER_TRACKING = LLC_WB_USEL3.named(kind=DirectoryKind.SHARERS)
+
+PRESETS: dict[str, DirectoryPolicy] = {
+    "baseline": BASELINE,
+    "earlyDirtyResp": EARLY_DIRTY,
+    "noWBcleanVic": NO_WB_CLEAN_VIC,
+    "noCleanVicToLLC": NO_CLEAN_VIC_TO_LLC,
+    "llcWB": LLC_WB,
+    "llcWB+useL3OnWT": LLC_WB_USEL3,
+    "owner": OWNER_TRACKING,
+    "sharers": SHARER_TRACKING,
+}

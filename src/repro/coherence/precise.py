@@ -1,0 +1,442 @@
+"""The §IV precise state-tracking system-level directory.
+
+Tracks each line known to be cached above in one of three stable states —
+``I`` (uncached), ``S`` (clean-shared), ``O`` (owned/exclusive/modified
+somewhere) — plus the transient ``B`` while a directory entry is being
+evicted.  Owner tracking alone enables:
+
+- eliding *all* probes for requests to ``I`` and (for reads) ``S`` lines,
+- probing only the owner (instead of broadcasting) for ``O`` lines,
+- eliding the LLC/memory read when the owner's dirty data will serve the
+  request, or when the requester itself is the tracked holder (upgrades).
+
+Sharer tracking additionally narrows invalidations from broadcasts to
+multicasts over the tracked sharer list (full-map by default, or a
+limited-pointer list with broadcast-on-overflow).
+
+The directory is itself a set-associative cache of entries; allocating into
+a full set evicts a victim entry with back-invalidations to its tracked
+holders (§IV-A1).  The transition rules implement Table I of the paper,
+including its footnoted special cases; deviations are documented inline and
+in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.coherence.directory import DirectoryController, ProtocolError, RequestPlan
+from repro.coherence.directory_entry import DirEntry
+from repro.coherence.llc import LastLevelCache
+from repro.coherence.policies import DirectoryPolicy
+from repro.coherence.transactions import Transaction
+from repro.mem.cache_array import CacheArray, CacheLine
+from repro.mem.main_memory import MainMemory
+from repro.protocol.messages import Message
+from repro.protocol.types import DirState, MoesiState, MsgType, ProbeType, RequesterKind
+from repro.sim.clock import ClockDomain
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+    from repro.sim.network import Network
+
+#: request types that allocate a tracking entry on a directory miss.
+#: WT does not allocate: the TCC does not write-allocate in WT mode, so
+#: there is nothing new to track.
+_ALLOCATING = frozenset({MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM})
+
+#: retry delay (directory cycles) when every way of a set is transaction-busy
+_ALLOC_RETRY_CYCLES = 20.0
+
+
+class PreciseDirectory(DirectoryController):
+    """Owner- or sharer-tracking directory (``DirectoryKind.OWNER``/``SHARERS``)."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        clock: ClockDomain,
+        network: "Network",
+        llc: LastLevelCache,
+        memory: MainMemory,
+        policy: DirectoryPolicy,
+        latency_cycles: float = 20.0,
+        service_cycles: float = 2.0,
+    ) -> None:
+        super().__init__(
+            sim, name, clock, network, llc, memory, policy,
+            latency_cycles=latency_cycles, service_cycles=service_cycles,
+        )
+        policy.validate()
+        if not policy.is_precise:
+            raise ValueError("PreciseDirectory requires kind OWNER or SHARERS")
+        num_sets = max(1, policy.dir_entries // policy.dir_assoc)
+        ways = min(policy.dir_assoc, policy.dir_entries)
+        self.dir_cache = CacheArray(num_sets, ways)
+
+    # -- entry helpers --------------------------------------------------------
+
+    def _new_entry(self) -> DirEntry:
+        return DirEntry(
+            track_identities=self.policy.tracks_sharers,
+            pointer_limit=self.policy.sharer_pointer_limit,
+        )
+
+    def entry_line(self, addr: int, touch: bool = False) -> CacheLine | None:
+        return self.dir_cache.lookup(addr, touch=touch)
+
+    def dir_state(self, addr: int) -> DirState:
+        line = self.entry_line(addr)
+        return DirState.I if line is None else line.state
+
+    def _holder_targets(self, line: CacheLine, include_owner: bool) -> list[str]:
+        """Invalidation targets for a tracked line: multicast when the
+        sharer identities are known, broadcast otherwise."""
+        entry: DirEntry = line.meta
+        targets: list[str] = []
+        if line.state is DirState.O and include_owner and entry.owner is not None:
+            targets.append(entry.owner)
+        if entry.sharer_count > 0 or entry.overflow:
+            if entry.multicast_possible:
+                targets.extend(entry.sharers)  # type: ignore[arg-type]
+            else:
+                targets = list(dict.fromkeys(targets + self.all_cache_names()))
+        return targets
+
+    # -- allocation / eviction (§IV-A1) -----------------------------------------
+
+    def prepare_entry(self, txn: Transaction) -> bool:
+        line = self.entry_line(txn.addr, touch=True)
+        if line is not None:
+            txn.prior_state = line.state
+            return True
+        txn.prior_state = DirState.I
+        if txn.request.mtype not in _ALLOCATING:
+            return True
+        if self.policy.is_readonly(txn.addr):
+            # Declared read-only region (future work from the paper's
+            # conclusion): reads are served untracked — no entry, no
+            # probes, shared grant.  Writing a declared read-only region
+            # violates the contract, like a page-protection fault.
+            if txn.request.mtype is MsgType.RDBLKM:
+                raise ProtocolError(
+                    f"write-permission request to read-only region: {txn.request!r}"
+                )
+            self.stats.inc("readonly_reads_untracked")
+            return True
+        victim = self.dir_cache.choose_victim(txn.addr, cost_of=self._eviction_cost)
+        if not victim.valid:
+            self.dir_cache.install(
+                txn.addr, state=DirState.B, meta=self._new_entry()
+            )
+            return True
+        if victim.addr in self._active:
+            # Every way busy with a transaction: retry shortly.
+            self.stats.inc("alloc_retries")
+            self.schedule(_ALLOC_RETRY_CYCLES, lambda: self._launch(txn))
+            return False
+        self._start_entry_eviction(victim, then=txn)
+        return False
+
+    def _eviction_cost(self, line: CacheLine) -> tuple[int, int, int]:
+        busy = 1 if line.addr in self._active else 0
+        if not self.policy.state_aware_dir_replacement:
+            return (busy, 0, 0)
+        # §VII future work: prefer unmodified entries with fewest sharers.
+        entry: DirEntry = line.meta
+        modified = 1 if line.state is DirState.O else 0
+        return (busy, modified, entry.sharer_count)
+
+    def _start_entry_eviction(self, victim: CacheLine, then: Transaction) -> None:
+        """Evict a directory entry: back-invalidate its tracked holders,
+        write any dirty data to the LLC, then relaunch the parked request."""
+        self.stats.inc("dir_evictions")
+        evict_req = Message(MsgType.PROBE, self.name, self.name, victim.addr)
+        evict_txn = Transaction(evict_req, is_eviction=True)
+        evict_txn.started_at = self.now
+        self._active[victim.addr] = evict_txn
+        targets = self._holder_targets(victim, include_owner=True)
+        victim.state = DirState.B  # Table I's transient B: requests stall
+        self.stats.inc("backward_invalidations", len(targets))
+
+        def finish_eviction() -> None:
+            if evict_txn.dirty_data is not None:
+                displaced = self.llc.write_victim(
+                    victim.addr, evict_txn.dirty_data, dirty=True
+                )
+                if displaced is not None:
+                    self._mem_write(displaced.addr, displaced.data)
+                if not self.policy.llc_writeback:
+                    self._mem_write(victim.addr, evict_txn.dirty_data)
+            self.dir_cache.invalidate(victim.addr)
+            evict_txn.responded = True
+            self._maybe_complete(evict_txn)
+
+        evict_txn.on_complete = lambda: self.relaunch(then)
+        if targets:
+            evict_txn.on_all_acks = finish_eviction
+            self._send_probes(evict_txn, targets, ProbeType.INVALIDATE)
+        else:
+            finish_eviction()
+
+    # -- request planning (Table I) ------------------------------------------------
+
+    def plan_request(self, txn: Transaction) -> RequestPlan:
+        req = txn.request
+        mtype = req.mtype
+        state: DirState = txn.prior_state  # type: ignore[assignment]
+        line = self.entry_line(txn.addr)
+        entry: DirEntry | None = line.meta if line is not None else None
+        plan = RequestPlan(needs_data=mtype in {
+            MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM, MsgType.DMA_RD, MsgType.ATOMIC,
+        })
+
+        requester_is_tracked_holder = (
+            entry is not None
+            and req.requester_kind is RequesterKind.CPU_L2
+            and (
+                (state is DirState.O and entry.owner == req.requester)
+                or (
+                    state is DirState.S
+                    and entry.tracks_identities
+                    and not entry.overflow
+                    and req.requester in (entry.sharers or ())
+                )
+            )
+        )
+
+        if mtype.is_read_permission:
+            if state is DirState.O:
+                assert entry is not None and entry.owner is not None
+                plan.probe_targets = [entry.owner]
+                plan.probe_type = ProbeType.DOWNGRADE
+                # Expect the owner's dirty data; fall back to a deferred
+                # LLC/memory read if the owner turns out to hold E (clean).
+                plan.read_data_now = False
+            else:
+                # I: nothing cached above.  S: LLC/memory guaranteed
+                # coherent.  Either way, no probes (the paper's main win).
+                plan.read_data_now = plan.needs_data
+        elif mtype.is_write_permission:
+            if self.policy.is_readonly(txn.addr):
+                raise ProtocolError(
+                    f"write-permission request to read-only region: {req!r}"
+                )
+            plan.probe_type = ProbeType.INVALIDATE
+            if state is DirState.O:
+                assert line is not None
+                plan.probe_targets = self._holder_targets(line, include_owner=True)
+            elif state is DirState.S:
+                assert line is not None
+                plan.probe_targets = self._holder_targets(line, include_owner=False)
+            if requester_is_tracked_holder and mtype is MsgType.RDBLKM:
+                # Upgrade: the requester already holds the data; elide the
+                # LLC/memory read entirely ("the LLC reads are elided").
+                plan.needs_data = False
+                self.stats.inc("upgrade_data_elided")
+            else:
+                plan.read_data_now = plan.needs_data and state is not DirState.O
+        return plan
+
+    def grant_state(self, txn: Transaction) -> MoesiState:
+        mtype = txn.request.mtype
+        if mtype is MsgType.RDBLKM:
+            return MoesiState.M
+        if mtype is MsgType.RDBLKS:
+            return MoesiState.S
+        if self.policy.is_readonly(txn.addr):
+            # untracked read-only line: never exclusive (E could silently
+            # become M without anyone knowing)
+            return MoesiState.S
+        # RdBlk: in S the response is forced shared (it comes from the LLC
+        # without consulting the sharers); in O, any surviving copy denies
+        # exclusivity; in I (or an O whose owner vanished), grant E.
+        state: DirState = txn.prior_state  # type: ignore[assignment]
+        if state is DirState.S:
+            return MoesiState.S
+        if txn.dirty_data is not None or txn.any_copy_acked:
+            return MoesiState.S
+        return MoesiState.E
+
+    # -- victims ----------------------------------------------------------------------
+
+    def accept_victim(self, txn: Transaction) -> bool:
+        req = txn.request
+        line = self.entry_line(txn.addr)
+        if line is None:
+            return False  # stale: the entry was evicted/overwritten meanwhile
+        entry: DirEntry = line.meta
+        if req.mtype is MsgType.VIC_DIRTY:
+            return line.state is DirState.O and entry.owner == req.requester
+        # VicClean: from the owner (an E line, footnote g) or from a sharer
+        # — including a dirty sharer of an O line (footnote h: non-owner
+        # copies evict clean, the owner keeps the write-back duty).
+        if line.state is DirState.O and (
+            entry.owner == req.requester or entry.is_sharer(req.requester)
+        ):
+            return True
+        if line.state is DirState.S and entry.is_sharer(req.requester):
+            return True
+        return False
+
+    # -- state updates (Table I) ----------------------------------------------------------
+
+    def update_state_after_response(self, txn: Transaction) -> None:
+        req = txn.request
+        mtype = req.mtype
+        line = self.entry_line(txn.addr)
+        if mtype in (MsgType.RDBLK, MsgType.RDBLKS):
+            if line is None and self.policy.is_readonly(txn.addr):
+                return  # untracked read-only read: nothing to record
+            self._update_after_read(txn, line)
+        elif mtype is MsgType.RDBLKM:
+            self._update_after_rdblkm(txn, line)
+        elif mtype is MsgType.WT:
+            self._update_after_wt(txn, line)
+        elif mtype is MsgType.ATOMIC:
+            self._drop_entry(line)
+        elif mtype is MsgType.DMA_WR:
+            if self.policy.dma_updates_dir_state:
+                self._drop_entry(line)
+        elif mtype.is_victim:
+            self._update_after_victim(txn, line)
+        # DMA_RD and FLUSH leave state untouched.
+
+    def _update_after_read(self, txn: Transaction, line: CacheLine | None) -> None:
+        req = txn.request
+        state: DirState = txn.prior_state  # type: ignore[assignment]
+        if line is None:
+            raise ProtocolError(f"read response without a directory entry: {txn!r}")
+        entry: DirEntry = line.meta
+        requester = req.requester
+        is_cpu = req.requester_kind is RequesterKind.CPU_L2
+        granted = self.grant_state(txn)
+        if state is DirState.I:
+            if granted is MoesiState.E and is_cpu:
+                line.state = DirState.O
+                entry.owner = requester
+                entry.clear_sharers()
+            else:
+                line.state = DirState.S
+                entry.owner = None
+                entry.clear_sharers()
+                entry.add_sharer(requester)
+        elif state is DirState.S:
+            line.state = DirState.S
+            entry.add_sharer(requester)
+        else:  # O
+            if txn.dirty_data is not None:
+                # Owner downgraded M->O (or stayed O); requester joins dirty-shared.
+                line.state = DirState.O
+                entry.add_sharer(requester)
+            elif txn.any_copy_acked:
+                # Footnotes d/f: the owner actually held E and downgraded to
+                # S; the line is now clean-shared under the LLC/memory.
+                old_owner = entry.owner
+                line.state = DirState.S
+                entry.owner = None
+                if old_owner is not None:
+                    entry.add_sharer(old_owner)
+                entry.add_sharer(requester)
+            else:
+                # The owner's copy was gone (victim in flight, later dropped
+                # as stale): the requester becomes the new tracked holder.
+                if granted is MoesiState.E and is_cpu:
+                    line.state = DirState.O
+                    entry.owner = requester
+                    entry.clear_sharers()
+                else:
+                    line.state = DirState.S
+                    entry.owner = None
+                    entry.clear_sharers()
+                    entry.add_sharer(requester)
+
+    def _update_after_rdblkm(self, txn: Transaction, line: CacheLine | None) -> None:
+        if line is None:
+            raise ProtocolError(f"RdBlkM response without a directory entry: {txn!r}")
+        entry: DirEntry = line.meta
+        line.state = DirState.O
+        entry.owner = txn.request.requester
+        entry.clear_sharers()
+
+    def _update_after_wt(self, txn: Transaction, line: CacheLine | None) -> None:
+        req = txn.request
+        if line is None:
+            return  # untracked line; nothing changes (WT never allocates)
+        if req.is_writeback:
+            # TCC eviction/flush write-back: the TCC no longer holds the
+            # line and every other holder was just invalidated.
+            self._drop_entry(line)
+            return
+        # Streaming write-through: every holder except the writing TCC was
+        # invalidated; the TCC keeps its copy only if it had one.
+        entry: DirEntry = line.meta
+        keeps_copy = entry.is_sharer(req.requester) or (
+            line.state is DirState.O and entry.owner == req.requester
+        )
+        if not keeps_copy:
+            self._drop_entry(line)
+            return
+        line.state = DirState.S
+        entry.owner = None
+        entry.clear_sharers()
+        entry.add_sharer(req.requester)
+
+    def _update_after_victim(self, txn: Transaction, line: CacheLine | None) -> None:
+        if line is None:
+            return  # stale victim, already dropped
+        req = txn.request
+        entry: DirEntry = line.meta
+        if line.state is DirState.O and entry.owner == req.requester:
+            # Owner write-back (VicDirty) or E eviction (VicClean).  The
+            # LLC is now coherent with any remaining dirty sharers
+            # (footnote h), so the line becomes clean-shared or dies.
+            # (§VII: the conservative alternative deallocates the entry and
+            # invalidates those sharers, costing extra probes.)
+            entry.owner = None
+            if entry.sharer_count > 0 or entry.overflow:
+                if self.policy.vicdirty_invalidates_sharers:
+                    self._invalidate_sharers_and_drop(line)
+                else:
+                    line.state = DirState.S
+            else:
+                self._drop_entry(line)
+        elif line.state is DirState.S and req.mtype is MsgType.VIC_CLEAN:
+            entry.remove_sharer(req.requester)
+            if entry.sharer_count == 0 and not entry.overflow:
+                self._drop_entry(line)
+        elif (
+            line.state is DirState.O
+            and req.mtype is MsgType.VIC_CLEAN
+            and entry.is_sharer(req.requester)
+        ):
+            # a (possibly dirty) sharer of an owned line evicted clean
+            entry.remove_sharer(req.requester)
+        # Stale victims (accept_victim returned False) change nothing.
+
+    def _invalidate_sharers_and_drop(self, line: CacheLine) -> None:
+        """§VII conservative VicDirty handling: deallocate the entry and
+        invalidate the remaining (dirty) sharers.  The probes ride on the
+        still-active victim transaction, which completes once they ack."""
+        txn = self._active[line.addr]
+        targets = [
+            t for t in self._holder_targets(line, include_owner=False)
+            if t != txn.request.requester
+        ]
+        self._drop_entry(line)
+        if targets:
+            self.stats.inc("vicdirty_sharer_invalidations", len(targets))
+            self._send_probes(txn, targets, ProbeType.INVALIDATE)
+
+    def _drop_entry(self, line: CacheLine | None) -> None:
+        if line is not None:
+            self.dir_cache.invalidate(line.addr)
+
+    # -- introspection for verification ---------------------------------------------------
+
+    def snapshot_entry(self, addr: int) -> tuple[DirState, DirEntry | None]:
+        line = self.entry_line(addr)
+        if line is None:
+            return DirState.I, None
+        return line.state, line.meta

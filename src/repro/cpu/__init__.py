@@ -1,0 +1,6 @@
+"""CPU cluster: CorePairs (2 cores + L1I + 2xL1D + shared MOESI L2) and cores."""
+
+from repro.cpu.core import CpuCore
+from repro.cpu.corepair import CorePair, CpuRequest
+
+__all__ = ["CorePair", "CpuCore", "CpuRequest"]

@@ -1,0 +1,5 @@
+"""DMA engine: non-caching line-granular reads/writes through the directory."""
+
+from repro.dma.engine import DmaEngine
+
+__all__ = ["DmaEngine"]

@@ -1,0 +1,17 @@
+"""GPU cluster: CUs with TCPs, the shared TCC, SQC, LDS, and kernel queue.
+
+The cache model follows VIPER (§II-C of the paper): TCP and TCC are simple
+Valid/Invalid caches.  The TCC supports write-through (default) and
+write-back (``WB_L2``) configurations; so does the TCP (``WB_L1``).  The
+TCC never forwards data on probes but invalidates itself; device-scope
+(GLC) atomics execute at the TCC, system-scope (SLC) atomics bypass it to
+the directory.  Kernel launch performs the acquire (TCP invalidation) and
+kernel completion the release (TCC flush + directory Flush).
+"""
+
+from repro.gpu.compute_unit import ComputeUnit
+from repro.gpu.gpu_device import GpuDevice, KernelHandle
+from repro.gpu.sqc import SqcCache
+from repro.gpu.tcc import TccController
+
+__all__ = ["ComputeUnit", "GpuDevice", "KernelHandle", "SqcCache", "TccController"]

@@ -1,0 +1,423 @@
+"""The Texture Cache per Channel — the GPU's shared L2.
+
+A Valid/Invalid cache with optional dirty bits (write-back mode, ``WB_L2``).
+Behaviour per §II-C of the paper:
+
+- Misses fetch lines from the directory with ``RdBlk``; if exclusive status
+  is granted it is ignored.
+- Write-through mode: stores are forwarded to the directory as word-masked
+  ``WT`` requests; a cached copy is updated in place but stores never
+  allocate.
+- Write-back mode: stores allocate (fetch-on-write) and set per-word dirty
+  masks; the dirty words are written back as word-masked ``WT`` requests on
+  eviction (``is_writeback``: the line is relinquished) and on flush
+  (kernel release / store-release: the clean line is retained).
+- Device-scope (GLC) atomics execute here; system-scope (SLC) atomics
+  bypass (non-inclusive behaviour) and run at the directory.
+- Probes never extract *line* data (§II-C); an invalidating probe drops the
+  line, but in write-back mode the word-granular dirty mask (the gem5
+  byte-mask equivalent) rides in the ack so modified words are never lost
+  under false sharing — see DESIGN.md for this substitution.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.coherence.banking import DirectoryMap, as_directory_map
+from repro.mem.block import LineData
+from repro.mem.cache_array import CacheArray
+from repro.protocol.atomics import AtomicOp, apply_atomic
+from repro.protocol.messages import Message
+from repro.protocol.types import MsgType, ProbeType, RequesterKind, ViState
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Controller
+from repro.sim.event_queue import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+    from repro.sim.network import Network
+
+
+class TccError(SimulationError):
+    pass
+
+
+@dataclass
+class _Mshr:
+    waiters: list[Callable[[LineData], None]] = field(default_factory=list)
+
+
+class TccController(Controller):
+    """Network endpoint of kind ``"tcc"``."""
+
+    kind_name = "tcc"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        clock: ClockDomain,
+        network: "Network",
+        dir_name: "str | DirectoryMap",
+        geometry: tuple[int, int] = (256 * 2**10, 16),
+        latency_cycles: float = 8.0,
+        writeback: bool = False,
+        service_cycles: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name, clock, service_cycles=service_cycles)
+        self.network = network
+        self.dir_map = as_directory_map(dir_name)
+        self.array = CacheArray.from_geometry(*geometry)
+        self.latency_cycles = latency_cycles
+        self.writeback = writeback
+        self._mshrs: dict[int, _Mshr] = {}
+        #: WT acks awaited, FIFO per address.
+        self._wt_pending: dict[int, deque[Callable[[], None]]] = {}
+        self._wt_outstanding = 0
+        self._drain_waiters: list[Callable[[], None]] = []
+        self._atomic_pending: dict[int, deque[Callable[[int], None]]] = {}
+        #: FIFO of in-flight fences: [outstanding bank acks, callback]
+        self._flush_pending: list[list] = []
+
+    # -- CU-facing interface ----------------------------------------------------
+
+    def _claim(self) -> int:
+        start = max(self.now, self._next_free)
+        self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
+        return start + self.clock.cycles_to_ticks(self.latency_cycles)
+
+    def fetch(self, line: int, callback: Callable[[LineData], None]) -> None:
+        """Read a full line (TCP miss or SQC miss path)."""
+        ready = self._claim()
+
+        def run() -> None:
+            cached = self.array.lookup(line)
+            if cached is not None:
+                self.stats.inc("hits")
+                callback(cached.data)
+                return
+            self.stats.inc("misses")
+            mshr = self._mshrs.get(line)
+            if mshr is not None:
+                mshr.waiters.append(callback)
+                return
+            self._mshrs[line] = _Mshr(waiters=[callback])
+            self.network.send(
+                Message.request(
+                    MsgType.RDBLK, self.name, self.dir_map.bank_of(line), line,
+                    RequesterKind.TCC
+                )
+            )
+
+        self.sim.events.schedule(ready, run)
+
+    def write(
+        self, line: int, updates: dict[int, int], callback: Callable[[], None]
+    ) -> None:
+        """A (coalesced) store from a TCP.  ``callback`` fires when the
+        store retires for the wavefront: write-through mode retires once the
+        WT is issued (store-buffer semantics; use :meth:`drain` for
+        visibility), write-back mode once the TCC line is written."""
+        ready = self._claim()
+
+        def run() -> None:
+            self.stats.inc("writes")
+            if self.writeback:
+                self._write_back_mode(line, updates, callback)
+            else:
+                cached = self.array.lookup(line)
+                if cached is not None:
+                    cached.data = _apply(cached.data, updates)
+                self._send_wt(line, word_updates=dict(updates))
+                callback()
+
+        self.sim.events.schedule(ready, run)
+
+    def _write_back_mode(
+        self, line: int, updates: dict[int, int], callback: Callable[[], None]
+    ) -> None:
+        cached = self.array.lookup(line)
+        if cached is not None:
+            self._dirty_words(cached, updates)
+            callback()
+            return
+        # Fetch-on-write: allocate the full line, then apply.
+        def on_fill(_data: LineData) -> None:
+            filled = self.array.lookup(line)
+            if filled is None:  # probed away between fill and apply: refetch
+                self._write_back_mode(line, updates, callback)
+                return
+            self._dirty_words(filled, updates)
+            callback()
+
+        self.fetch(line, on_fill)
+
+    @staticmethod
+    def _dirty_words(cached, updates: dict[int, int]) -> None:
+        """Apply a store and track exactly which words this cache dirtied —
+        the word-granular analogue of gem5 VIPER's byte masks, needed so
+        write-backs and probe forwards never clobber other agents' words."""
+        cached.data = _apply(cached.data, updates)
+        cached.dirty = True
+        if cached.meta is None:
+            cached.meta = set()
+        cached.meta.update(updates.keys())
+
+    def atomic(
+        self,
+        line: int,
+        word: int,
+        op: AtomicOp,
+        operand: int,
+        compare: int,
+        scope: str,
+        callback: Callable[[int], None],
+    ) -> None:
+        """A GPU atomic: GLC executes here, SLC at the directory."""
+        ready = self._claim()
+
+        def run() -> None:
+            if scope == "slc":
+                self._slc_atomic(line, word, op, operand, compare, callback)
+            elif scope == "glc":
+                self._glc_atomic(line, word, op, operand, compare, callback)
+            else:
+                raise TccError(f"unknown atomic scope {scope!r}")
+
+        self.sim.events.schedule(ready, run)
+
+    def _slc_atomic(self, line, word, op, operand, compare, callback) -> None:
+        self.stats.inc("slc_atomics")
+        # SLC requests bypass the TCC (non-inclusive behaviour): drop any
+        # local copy so we never serve stale data for this line.
+        carried: dict[int, int] | None = None
+        if self.array.lookup(line, touch=False) is not None:
+            snapshot = self.array.invalidate(line)
+            if snapshot.dirty and snapshot.meta:
+                # carry our dirty words along so the bypass does not lose them
+                carried = {w: snapshot.data.word(w) for w in snapshot.meta}
+                self.stats.inc("dirty_words_carried_on_bypass", len(carried))
+        self._atomic_pending.setdefault(line, deque()).append(callback)
+        self.network.send(
+            Message.request(
+                MsgType.ATOMIC, self.name, self.dir_map.bank_of(line), line,
+                RequesterKind.TCC,
+                atomic_op=op, operand=operand, compare=compare, word=word,
+                word_updates=carried,
+            )
+        )
+
+    def _glc_atomic(self, line, word, op, operand, compare, callback) -> None:
+        self.stats.inc("glc_atomics")
+        cached = self.array.lookup(line)
+        if cached is None:
+            self.fetch(
+                line,
+                lambda _d: self._glc_atomic(line, word, op, operand, compare, callback),
+            )
+            return
+        new_data, old = apply_atomic(cached.data, word, op, operand, compare)
+        if self.writeback:
+            self._dirty_words(cached, {word: new_data.word(word)})
+        else:
+            cached.data = new_data
+            self._send_wt(line, word_updates={word: new_data.word(word)})
+        callback(old)
+
+    # -- visibility: drain / flush / release ------------------------------------------
+
+    def drain(self, callback: Callable[[], None]) -> None:
+        """Fire when all outstanding WTs have been acked by the directory."""
+        if self._wt_outstanding == 0:
+            callback()
+        else:
+            self._drain_waiters.append(callback)
+
+    def flush(self, callback: Callable[[], None]) -> None:
+        """Write back every dirty line (WB mode), then drain."""
+        if self.writeback:
+            for cached in self.array.iter_valid():
+                if cached.dirty:
+                    # A flush *cleans* the line but retains it, so the
+                    # directory must keep tracking the TCC (streaming-WT
+                    # semantics, is_writeback=False); only capacity
+                    # evictions relinquish the line.
+                    self.stats.inc("flush_writebacks")
+                    words = cached.meta or set(range(len(cached.data.words)))
+                    self._send_wt(
+                        cached.addr,
+                        word_updates={w: cached.data.word(w) for w in words},
+                    )
+                    cached.dirty = False
+                    cached.meta = None
+        self.drain(callback)
+
+    def release(self, callback: Callable[[], None]) -> None:
+        """Kernel-release: flush, then a directory Flush as the fence."""
+
+        def after_flush() -> None:
+            banks = self.dir_map.all_banks()
+            self._flush_pending.append([len(banks), callback])
+            for bank in banks:
+                self.network.send(
+                    Message.request(
+                        MsgType.FLUSH, self.name, bank, 0, RequesterKind.TCC
+                    )
+                )
+
+        self.flush(after_flush)
+
+    def invalidate_all(self) -> None:
+        """Drop every line (clean or dirty) — full-cache invalidate."""
+        for cached in list(self.array.iter_valid()):
+            if cached.dirty:
+                self.stats.inc("dropped_dirty_on_invalidate")
+            self.array.invalidate(cached.addr)
+
+    # -- WT plumbing -----------------------------------------------------------------------
+
+    def _send_wt(
+        self,
+        line: int,
+        word_updates: dict[int, int] | None = None,
+        data: LineData | None = None,
+        is_writeback: bool = False,
+        on_ack: Callable[[], None] | None = None,
+    ) -> None:
+        self._wt_outstanding += 1
+        self._wt_pending.setdefault(line, deque()).append(on_ack or (lambda: None))
+        self.network.send(
+            Message.request(
+                MsgType.WT, self.name, self.dir_map.bank_of(line), line,
+                RequesterKind.TCC,
+                data=data, word_updates=word_updates, is_writeback=is_writeback,
+            )
+        )
+
+    # -- network messages ---------------------------------------------------------------------
+
+    def handle_message(self, msg: Message) -> None:
+        if msg.mtype is MsgType.DATA_RESP:
+            self._on_fill(msg)
+        elif msg.mtype is MsgType.WT_ACK:
+            self._on_wt_ack(msg)
+        elif msg.mtype is MsgType.ATOMIC_RESP:
+            self._on_atomic_resp(msg)
+        elif msg.mtype is MsgType.FLUSH_ACK:
+            self._on_flush_ack(msg)
+        elif msg.mtype is MsgType.PROBE:
+            self._on_probe(msg)
+        else:
+            raise TccError(f"{self.name} received unexpected {msg!r}")
+
+    def _on_fill(self, msg: Message) -> None:
+        mshr = self._mshrs.pop(msg.addr, None)
+        if mshr is None:
+            raise TccError(f"{self.name}: fill without MSHR: {msg!r}")
+        if msg.data is None:
+            raise TccError(f"{self.name}: fill without data: {msg!r}")
+        self._install(msg.addr, msg.data)
+        for waiter in mshr.waiters:
+            waiter(msg.data)
+
+    def _install(self, line: int, data: LineData) -> None:
+        existing = self.array.lookup(line)
+        if existing is not None:
+            existing.data = data
+            return
+        victim = self.array.choose_victim(line)
+        if victim.valid and victim.dirty:
+            # Capacity eviction of a dirty line: write back its dirty words.
+            self.stats.inc("dirty_evictions")
+            snapshot = self.array.invalidate(victim.addr)
+            words = snapshot.meta or set(range(len(snapshot.data.words)))
+            self._send_wt(
+                snapshot.addr,
+                word_updates={w: snapshot.data.word(w) for w in words},
+                is_writeback=True,
+            )
+        self.array.install(line, state=ViState.V, data=data, dirty=False)
+
+    def _on_wt_ack(self, msg: Message) -> None:
+        queue = self._wt_pending.get(msg.addr)
+        if not queue:
+            raise TccError(f"{self.name}: WT ack without pending WT: {msg!r}")
+        on_ack = queue.popleft()
+        if not queue:
+            del self._wt_pending[msg.addr]
+        self._wt_outstanding -= 1
+        on_ack()
+        if self._wt_outstanding == 0 and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                waiter()
+
+    def _on_atomic_resp(self, msg: Message) -> None:
+        queue = self._atomic_pending.get(msg.addr)
+        if not queue:
+            raise TccError(f"{self.name}: atomic resp without request: {msg!r}")
+        callback = queue.popleft()
+        if not queue:
+            del self._atomic_pending[msg.addr]
+        callback(msg.result)
+
+    def _on_flush_ack(self, msg: Message) -> None:
+        if not self._flush_pending:
+            raise TccError(f"{self.name}: flush ack without flush: {msg!r}")
+        fence = self._flush_pending[0]
+        fence[0] -= 1
+        if fence[0] == 0:
+            self._flush_pending.pop(0)
+            fence[1]()
+
+    def _on_probe(self, msg: Message) -> None:
+        self.stats.inc("probes_received")
+        cached = self.array.lookup(msg.addr, touch=False)
+        had_copy = cached is not None
+        forwarded: dict[int, int] | None = None
+        if msg.probe_type is ProbeType.INVALIDATE and had_copy:
+            if cached.dirty and cached.meta:
+                # The TCC never forwards *line* data on probes (§II-C), but
+                # its word-granular dirty mask must not be lost under false
+                # sharing: the modified words ride in the ack (the gem5
+                # byte-mask equivalent; see DESIGN.md).
+                forwarded = {w: cached.data.word(w) for w in cached.meta}
+                self.stats.inc("dirty_words_forwarded_on_probe", len(forwarded))
+            self.array.invalidate(msg.addr)
+        self.network.send(
+            Message.probe_ack(
+                self.name, msg.src, msg.addr, msg.tid, had_copy=had_copy,
+                word_updates=forwarded,
+            )
+        )
+
+    # -- bookkeeping -----------------------------------------------------------------------------
+
+    def peek_word(self, addr: int) -> int | None:
+        from repro.mem.address import line_addr, word_index
+
+        cached = self.array.lookup(line_addr(addr), touch=False)
+        if cached is None:
+            return None
+        return cached.data.word(word_index(addr))
+
+    def pending_work(self) -> str | None:
+        parts = []
+        if self._mshrs:
+            parts.append(f"{len(self._mshrs)} MSHRs")
+        if self._wt_outstanding:
+            parts.append(f"{self._wt_outstanding} WTs in flight")
+        if self._atomic_pending:
+            parts.append("atomics in flight")
+        if self._flush_pending:
+            parts.append("flush in flight")
+        return ", ".join(parts) or None
+
+
+def _apply(data: LineData, updates: dict[int, int]) -> LineData:
+    for index, value in updates.items():
+        data = data.with_word(index, value)
+    return data

@@ -1,0 +1,65 @@
+"""Address-interleaved group of TCC banks.
+
+Table III configures one TCC, but the paper consistently writes "TCC(s)" —
+real GPUs bank the TCC by address.  A :class:`TccGroup` routes line
+addresses to banks the same way the directory map does, and fans
+group-wide operations (drain/flush/release/invalidate) to every bank.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.mem.address import LINE_BYTES
+
+if TYPE_CHECKING:
+    from repro.gpu.tcc import TccController
+
+
+class TccGroup:
+    """Routes per-line traffic to TCC banks; fans out fences."""
+
+    def __init__(self, banks: list["TccController"]) -> None:
+        if not banks:
+            raise ValueError("a TCC group needs at least one bank")
+        self.banks = list(banks)
+
+    def of(self, line: int) -> "TccController":
+        return self.banks[(line // LINE_BYTES) % len(self.banks)]
+
+    def __len__(self) -> int:
+        return len(self.banks)
+
+    def __iter__(self):
+        return iter(self.banks)
+
+    @property
+    def writeback(self) -> bool:
+        return self.banks[0].writeback
+
+    # -- fan-out operations --------------------------------------------------
+
+    def _fan_out(self, operation: str, callback: Callable[[], None]) -> None:
+        remaining = len(self.banks)
+
+        def one_done() -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                callback()
+
+        for bank in self.banks:
+            getattr(bank, operation)(one_done)
+
+    def drain(self, callback: Callable[[], None]) -> None:
+        self._fan_out("drain", callback)
+
+    def flush(self, callback: Callable[[], None]) -> None:
+        self._fan_out("flush", callback)
+
+    def release(self, callback: Callable[[], None]) -> None:
+        self._fan_out("release", callback)
+
+    def invalidate_all(self) -> None:
+        for bank in self.banks:
+            bank.invalidate_all()

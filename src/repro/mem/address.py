@@ -1,0 +1,26 @@
+"""Address arithmetic for a 64-byte-line, 4-byte-word memory system."""
+
+from __future__ import annotations
+
+LINE_BYTES = 64
+BYTES_PER_WORD = 4
+WORDS_PER_LINE = LINE_BYTES // BYTES_PER_WORD
+
+_LINE_MASK = ~(LINE_BYTES - 1)
+
+
+def line_addr(addr: int) -> int:
+    """The line-aligned base address containing byte address ``addr``."""
+    return addr & _LINE_MASK
+
+
+def word_index(addr: int) -> int:
+    """The index of the 4-byte word within its line."""
+    return (addr & (LINE_BYTES - 1)) // BYTES_PER_WORD
+
+
+def make_addr(line_number: int, word: int = 0) -> int:
+    """Byte address of ``word`` in the ``line_number``-th line of memory."""
+    if not 0 <= word < WORDS_PER_LINE:
+        raise ValueError(f"word index {word} out of range [0, {WORDS_PER_LINE})")
+    return line_number * LINE_BYTES + word * BYTES_PER_WORD

@@ -1,0 +1,207 @@
+"""Set-associative tag/data arrays.
+
+:class:`CacheArray` is the storage substrate shared by every cache in the
+system — CPU L1/L2, GPU TCP/TCC/SQC, the LLC, and the directory cache (whose
+"lines" are tracking entries rather than data).  Protocol state is opaque to
+the array: controllers store whatever state enum they use in
+:attr:`CacheLine.state` and extra tracking info in :attr:`CacheLine.meta`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.mem.address import LINE_BYTES
+from repro.mem.block import LineData
+from repro.mem.replacement import ReplacementPolicy, TreePLRU
+
+
+class CacheLine:
+    """One way of one set."""
+
+    __slots__ = ("valid", "addr", "state", "data", "dirty", "meta")
+
+    def __init__(self) -> None:
+        self.valid = False
+        self.addr = -1  # line-aligned address when valid
+        self.state: Any = None
+        self.data: LineData | None = None
+        self.dirty = False
+        self.meta: Any = None
+
+    def reset(self) -> None:
+        self.valid = False
+        self.addr = -1
+        self.state = None
+        self.data = None
+        self.dirty = False
+        self.meta = None
+
+    def __repr__(self) -> str:
+        if not self.valid:
+            return "CacheLine(invalid)"
+        return (
+            f"CacheLine(addr={self.addr:#x}, state={self.state}, "
+            f"dirty={self.dirty})"
+        )
+
+
+class CacheArray:
+    """A ``num_sets`` x ``ways`` array with pluggable replacement.
+
+    Addresses passed in must already be line-aligned; the set index is
+    ``(addr / 64) mod num_sets`` and the full line address doubles as tag.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        ways: int,
+        repl: Callable[[int], ReplacementPolicy] = TreePLRU,
+    ) -> None:
+        if num_sets < 1 or ways < 1:
+            raise ValueError(f"bad geometry: {num_sets} sets x {ways} ways")
+        self.num_sets = num_sets
+        self.ways = ways
+        self._sets = [[CacheLine() for _ in range(ways)] for _ in range(num_sets)]
+        self._repl = [repl(ways) for _ in range(num_sets)]
+        self._index: dict[int, CacheLine] = {}
+
+    @classmethod
+    def from_geometry(
+        cls,
+        size_bytes: int,
+        assoc: int,
+        line_bytes: int = LINE_BYTES,
+        repl: Callable[[int], ReplacementPolicy] = TreePLRU,
+    ) -> "CacheArray":
+        """Build from a (size, associativity) pair as in Table II."""
+        lines = max(1, size_bytes // line_bytes)
+        ways = min(assoc, lines)
+        num_sets = max(1, lines // ways)
+        return cls(num_sets, ways, repl)
+
+    # -- lookups ----------------------------------------------------------
+
+    def set_index(self, addr: int) -> int:
+        return (addr // LINE_BYTES) % self.num_sets
+
+    def lookup(self, addr: int, touch: bool = True) -> CacheLine | None:
+        """The valid line holding ``addr``, or None."""
+        line = self._index.get(addr)
+        if line is None:
+            return None
+        if touch:
+            self.touch(line)
+        return line
+
+    def touch(self, line: CacheLine) -> None:
+        index = self.set_index(line.addr)
+        way = self._sets[index].index(line)
+        self._repl[index].touch(way)
+
+    # -- allocation -------------------------------------------------------
+
+    def choose_victim(
+        self, addr: int, cost_of: Callable[[CacheLine], Any] | None = None
+    ) -> CacheLine:
+        """The line to overwrite when installing ``addr``: an invalid way if
+        any, else the replacement policy's pick.  Does not modify the array.
+
+        ``cost_of`` optionally ranks valid lines by eviction cost (lower is
+        cheaper); the replacement policy only breaks ties among the cheapest.
+        This hook implements the paper's §VII state-aware directory
+        replacement.
+        """
+        index = self.set_index(addr)
+        ways = self._sets[index]
+        for line in ways:
+            if not line.valid:
+                return line
+        victim_way = self._repl[index].victim()
+        if cost_of is None:
+            return ways[victim_way]
+        costs = [cost_of(line) for line in ways]
+        cheapest = min(costs)
+        candidates = [w for w, cost in enumerate(costs) if cost == cheapest]
+        if victim_way in candidates:
+            return ways[victim_way]
+        return ways[candidates[0]]
+
+    def install(
+        self,
+        addr: int,
+        state: Any,
+        data: LineData | None = None,
+        dirty: bool = False,
+        meta: Any = None,
+    ) -> tuple[CacheLine, CacheLine | None]:
+        """Install ``addr``; returns ``(line, evicted_copy)``.
+
+        ``evicted_copy`` is a detached :class:`CacheLine` snapshot of the
+        victim if a valid line had to be replaced (None otherwise).  The
+        caller is responsible for acting on the eviction (write-back,
+        back-invalidation, ...).
+        """
+        existing = self.lookup(addr, touch=True)
+        if existing is not None:
+            existing.state = state
+            if data is not None:
+                existing.data = data
+            existing.dirty = dirty
+            if meta is not None:
+                existing.meta = meta
+            return existing, None
+
+        victim = self.choose_victim(addr)
+        evicted: CacheLine | None = None
+        if victim.valid:
+            evicted = CacheLine()
+            evicted.valid = True
+            evicted.addr = victim.addr
+            evicted.state = victim.state
+            evicted.data = victim.data
+            evicted.dirty = victim.dirty
+            evicted.meta = victim.meta
+            del self._index[victim.addr]
+        victim.valid = True
+        victim.addr = addr
+        victim.state = state
+        victim.data = data
+        victim.dirty = dirty
+        victim.meta = meta
+        self._index[addr] = victim
+        self.touch(victim)
+        return victim, evicted
+
+    def invalidate(self, addr: int) -> CacheLine | None:
+        """Invalidate ``addr`` if present; returns a detached snapshot."""
+        line = self._index.pop(addr, None)
+        if line is None:
+            return None
+        snapshot = CacheLine()
+        snapshot.valid = True
+        snapshot.addr = line.addr
+        snapshot.state = line.state
+        snapshot.data = line.data
+        snapshot.dirty = line.dirty
+        snapshot.meta = line.meta
+        line.reset()
+        return snapshot
+
+    # -- iteration --------------------------------------------------------
+
+    def iter_valid(self) -> Iterator[CacheLine]:
+        return iter(list(self._index.values()))
+
+    def occupancy(self) -> int:
+        return len(self._index)
+
+    def set_of(self, addr: int) -> list[CacheLine]:
+        return self._sets[self.set_index(addr)]
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._index
+
+    def __len__(self) -> int:
+        return self.num_sets * self.ways

@@ -1,0 +1,129 @@
+"""Main-memory (DRAM) model.
+
+The paper's directory talks to memory through a single *ordered* interface;
+writes are non-blocking but occupy the channel, so extra write traffic (the
+write-through LLC of the baseline) delays later reads.  We model exactly
+that: a FIFO channel that admits one access every ``gap_cycles`` and returns
+read data after ``latency_cycles``.
+
+Reads and writes are counted; those counters are the y-axis of Figure 5.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.mem.block import ZERO_LINE, LineData
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Component
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+
+
+class MainMemory(Component):
+    """Backing store plus an ordered, bandwidth-limited channel."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        clock: ClockDomain,
+        latency_cycles: float = 160.0,
+        gap_cycles: float = 10.0,
+        name: str = "memory",
+    ) -> None:
+        super().__init__(sim, name, clock)
+        self.latency_cycles = latency_cycles
+        self.gap_cycles = gap_cycles
+        self._store: dict[int, LineData] = {}
+        self._channel_free = 0
+        self._outstanding = 0
+
+    # -- functional backing store ----------------------------------------
+
+    def peek(self, addr: int) -> LineData:
+        """Functional read with no timing side effects (for verification)."""
+        return self._store.get(addr, ZERO_LINE)
+
+    def poke(self, addr: int, data: LineData) -> None:
+        """Functional write with no timing side effects (for initialization)."""
+        self._store[addr] = data
+
+    # -- timed channel -----------------------------------------------------
+
+    def _claim_channel(self) -> int:
+        """Reserve the next channel slot; returns the access start tick."""
+        start = max(self.now, self._channel_free)
+        self._channel_free = start + self.clock.cycles_to_ticks(self.gap_cycles)
+        wait = start - self.now
+        if wait:
+            self.stats.inc("channel_wait_ticks", wait)
+        return start
+
+    def read(self, addr: int, callback: Callable[[LineData], None]) -> None:
+        """Timed read; ``callback(data)`` fires after channel wait + latency."""
+        self.stats.inc("reads")
+        start = self._claim_channel()
+        finish = start + self.clock.cycles_to_ticks(self.latency_cycles)
+        self._outstanding += 1
+
+        def complete() -> None:
+            self._outstanding -= 1
+            callback(self._store.get(addr, ZERO_LINE))
+
+        self.sim.events.schedule(finish, complete)
+
+    def write(
+        self,
+        addr: int,
+        data: LineData,
+        callback: Callable[[], None] | None = None,
+    ) -> None:
+        """Timed write; the store is updated when the access starts (ordered
+        channel, so a later read cannot pass it)."""
+        self.stats.inc("writes")
+        start = self._claim_channel()
+        self._outstanding += 1
+
+        def commit() -> None:
+            self._outstanding -= 1
+            self._store[addr] = data
+            if callback is not None:
+                callback()
+
+        self.sim.events.schedule(start, commit)
+
+    def write_words(
+        self,
+        addr: int,
+        updates: dict[int, int],
+        callback: Callable[[], None] | None = None,
+    ) -> None:
+        """Timed partial-line write (byte-enable style): only the given
+        words are updated, read-modify applied atomically at commit time."""
+        self.stats.inc("writes")
+        start = self._claim_channel()
+        self._outstanding += 1
+
+        def commit() -> None:
+            self._outstanding -= 1
+            line = self._store.get(addr, ZERO_LINE)
+            words = list(line.words)
+            for index, value in updates.items():
+                words[index] = value
+            self._store[addr] = LineData(words)
+            if callback is not None:
+                callback()
+
+        self.sim.events.schedule(start, commit)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return int(self.stats["reads"] + self.stats["writes"])
+
+    def pending_work(self) -> str | None:
+        if self._outstanding:
+            return f"{self._outstanding} outstanding accesses"
+        return None

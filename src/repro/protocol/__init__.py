@@ -1,0 +1,34 @@
+"""Coherence protocol vocabulary shared by every controller.
+
+Enumerations of stable/directory states, request/probe/response message
+types (the §II-A request taxonomy of the paper), the concrete
+:class:`~repro.protocol.messages.Message` record that travels the fabric,
+and atomic read-modify-write semantics.
+"""
+
+from repro.protocol.atomics import AtomicOp, apply_atomic
+from repro.protocol.messages import (
+    CTRL_MSG_BYTES,
+    DATA_MSG_BYTES,
+    Message,
+)
+from repro.protocol.types import (
+    DirState,
+    MoesiState,
+    MsgType,
+    ProbeType,
+    RequesterKind,
+)
+
+__all__ = [
+    "AtomicOp",
+    "CTRL_MSG_BYTES",
+    "DATA_MSG_BYTES",
+    "DirState",
+    "Message",
+    "MoesiState",
+    "MsgType",
+    "ProbeType",
+    "RequesterKind",
+    "apply_atomic",
+]

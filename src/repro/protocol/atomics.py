@@ -1,0 +1,58 @@
+"""Atomic read-modify-write semantics.
+
+One word of one line is updated atomically.  System-scope (SLC) atomics run
+at the directory with full-system visibility; device-scope (GLC) atomics run
+at the TCC (§II-C).  Both use :func:`apply_atomic`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.mem.block import LineData
+
+
+class AtomicOp(enum.Enum):
+    ADD = "add"
+    INC = "inc"
+    EXCH = "exch"
+    CAS = "cas"
+    MAX = "max"
+    MIN = "min"
+    AND = "and"
+    OR = "or"
+
+
+def apply_atomic(
+    data: LineData,
+    word: int,
+    op: AtomicOp,
+    operand: int = 0,
+    compare: int = 0,
+) -> tuple[LineData, int]:
+    """Apply ``op`` to ``data.word(word)``; returns ``(new_line, old_value)``.
+
+    ``compare`` is only used by CAS (swap in ``operand`` iff old == compare).
+    """
+    old = data.word(word)
+    if op is AtomicOp.ADD:
+        new = old + operand
+    elif op is AtomicOp.INC:
+        new = old + 1
+    elif op is AtomicOp.EXCH:
+        new = operand
+    elif op is AtomicOp.CAS:
+        new = operand if old == compare else old
+    elif op is AtomicOp.MAX:
+        new = max(old, operand)
+    elif op is AtomicOp.MIN:
+        new = min(old, operand)
+    elif op is AtomicOp.AND:
+        new = old & operand
+    elif op is AtomicOp.OR:
+        new = old | operand
+    else:  # pragma: no cover - enum is exhaustive
+        raise ValueError(f"unknown atomic op {op!r}")
+    if new == old:
+        return data, old
+    return data.with_word(word, new), old

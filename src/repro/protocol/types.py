@@ -1,0 +1,135 @@
+"""State and message-type enumerations.
+
+These mirror the vocabulary of §II of the paper: the MOESI states of the
+CorePair caches, the VI states of the GPU caches, the request types the
+system-level directory accepts from L2s / the TCC / the DMA engine, and the
+two probe flavours the directory sends.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MoesiState(enum.Enum):
+    """CPU-side (CorePair L1/L2) stable states."""
+
+    M = "M"  # modified: sole dirty copy
+    O = "O"  # owned: dirty, shared, this copy responsible for write-back
+    E = "E"  # exclusive: sole clean copy; may silently become M
+    S = "S"  # shared: readable copy (may be dirty w.r.t. memory under an O owner)
+    I = "I"  # invalid
+
+    @property
+    def readable(self) -> bool:
+        return self is not MoesiState.I
+
+    @property
+    def writable(self) -> bool:
+        return self in (MoesiState.M, MoesiState.E)
+
+    @property
+    def is_dirty(self) -> bool:
+        """Does holding this state oblige the cache to supply/write back data?"""
+        return self in (MoesiState.M, MoesiState.O)
+
+
+class ViState(enum.Enum):
+    """GPU-side (TCP/TCC/SQC) stable states — a simple Valid/Invalid protocol."""
+
+    V = "V"
+    I = "I"
+
+
+class DirState(enum.Enum):
+    """Precise-directory stable states (§IV-A of the paper).
+
+    ``I``: no processor cache holds the line.
+    ``S``: held only in shared, LLC-coherent form.
+    ``O``: modified/owned/exclusive somewhere above (E is conservatively O
+    because E can turn M silently).
+    ``B``: transient — the directory entry is being evicted; requests stall.
+    """
+
+    I = "I"
+    S = "S"
+    O = "O"
+    B = "B"
+
+
+class MsgType(enum.Enum):
+    """Every message class that crosses the fabric."""
+
+    # CPU L2 -> directory requests (§II-A)
+    RDBLK = "RdBlk"      # read, may be granted Exclusive or Shared
+    RDBLKS = "RdBlkS"    # read, Shared only (instruction-cache misses)
+    RDBLKM = "RdBlkM"    # write permission
+    VIC_DIRTY = "VicDirty"
+    VIC_CLEAN = "VicClean"
+    # TCC -> directory requests
+    WT = "WT"            # write-through (doubles as write-back when TCC is WB)
+    ATOMIC = "Atomic"    # system-scope (SLC) atomic, executed at the directory
+    FLUSH = "Flush"      # store-release support
+    # DMA -> directory requests
+    DMA_RD = "DMARd"
+    DMA_WR = "DMAWr"
+    # directory -> caches
+    PROBE = "Probe"
+    # caches -> directory
+    PROBE_ACK = "ProbeAck"
+    # directory -> requester
+    DATA_RESP = "DataResp"
+    WB_ACK = "WBAck"
+    WT_ACK = "WTAck"
+    ATOMIC_RESP = "AtomicResp"
+    FLUSH_ACK = "FlushAck"
+    DMA_RESP = "DMAResp"
+    # requester -> directory, closing a transaction
+    UNBLOCK = "Unblock"
+
+    @property
+    def is_request(self) -> bool:
+        return self in _REQUESTS
+
+    @property
+    def is_write_permission(self) -> bool:
+        """Request types that trigger *invalidating* probes (incl. the TCC)."""
+        return self in (MsgType.RDBLKM, MsgType.WT, MsgType.ATOMIC, MsgType.DMA_WR)
+
+    @property
+    def is_read_permission(self) -> bool:
+        """Request types that trigger *downgrading* probes (TCC excluded)."""
+        return self in (MsgType.RDBLK, MsgType.RDBLKS, MsgType.DMA_RD)
+
+    @property
+    def is_victim(self) -> bool:
+        return self in (MsgType.VIC_DIRTY, MsgType.VIC_CLEAN)
+
+
+_REQUESTS = frozenset(
+    {
+        MsgType.RDBLK,
+        MsgType.RDBLKS,
+        MsgType.RDBLKM,
+        MsgType.VIC_DIRTY,
+        MsgType.VIC_CLEAN,
+        MsgType.WT,
+        MsgType.ATOMIC,
+        MsgType.FLUSH,
+        MsgType.DMA_RD,
+        MsgType.DMA_WR,
+    }
+)
+
+
+class ProbeType(enum.Enum):
+    INVALIDATE = "inv"
+    DOWNGRADE = "down"
+
+
+class RequesterKind(enum.Enum):
+    """Who a directory request came from — decides response shape."""
+
+    CPU_L2 = "l2"
+    TCC = "tcc"
+    DMA = "dma"

@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a tick-based event queue
+(:mod:`repro.sim.event_queue`), clock domains that convert component-local
+cycles to global ticks (:mod:`repro.sim.clock`), clocked components and
+serializing message controllers (:mod:`repro.sim.component`), a star-topology
+message fabric with latency and traffic accounting (:mod:`repro.sim.network`),
+and a hierarchical statistics registry (:mod:`repro.sim.stats`).
+
+Nothing in this package knows about coherence; protocol vocabulary lives in
+:mod:`repro.protocol` and above.
+"""
+
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Component, Controller
+from repro.sim.event_queue import EventQueue, Simulator
+from repro.sim.network import Network
+from repro.sim.stats import StatGroup
+
+__all__ = [
+    "ClockDomain",
+    "Component",
+    "Controller",
+    "EventQueue",
+    "Network",
+    "Simulator",
+    "StatGroup",
+]

@@ -1,0 +1,37 @@
+"""Clock domains.
+
+The simulated APU runs its CPU cluster, GPU cluster, and uncore (directory,
+LLC, memory controller) on different clocks (Table III of the paper: 3.5 GHz
+CPU, 1.1 GHz GPU).  A :class:`ClockDomain` converts a component-local cycle
+count into global ticks (picoseconds).
+"""
+
+from __future__ import annotations
+
+
+class ClockDomain:
+    """A named clock with a frequency, converting cycles to ticks.
+
+    Ticks are picoseconds, so a 3.5 GHz clock has a period of 286 ticks
+    (rounded).  Rounding to integer ticks keeps the event queue exact and
+    deterministic; the sub-picosecond error is irrelevant at the fidelity
+    level of this model.
+    """
+
+    def __init__(self, name: str, freq_hz: float) -> None:
+        if freq_hz <= 0:
+            raise ValueError(f"clock frequency must be positive, got {freq_hz}")
+        self.name = name
+        self.freq_hz = freq_hz
+        self.period_ticks = max(1, round(1e12 / freq_hz))
+
+    def cycles_to_ticks(self, cycles: float) -> int:
+        """Convert a (possibly fractional) cycle count to whole ticks."""
+        return max(0, round(cycles * self.period_ticks))
+
+    def ticks_to_cycles(self, ticks: int) -> float:
+        return ticks / self.period_ticks
+
+    def __repr__(self) -> str:
+        ghz = self.freq_hz / 1e9
+        return f"ClockDomain({self.name!r}, {ghz:.3g} GHz, period={self.period_ticks} ticks)"

@@ -1,0 +1,77 @@
+"""Clocked components and serializing message controllers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.sim.clock import ClockDomain
+from repro.sim.stats import StatGroup
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+
+
+class Component:
+    """Base class for everything that lives on the simulated die.
+
+    A component has a name, a clock domain, a stat group, and helpers to
+    schedule callbacks a number of *local cycles* in the future.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, clock: ClockDomain) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.stats = StatGroup(name)
+        sim.register(self)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    def schedule(self, delay_cycles: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Run ``callback`` after ``delay_cycles`` of this component's clock."""
+        self.sim.events.schedule_after(
+            self.clock.cycles_to_ticks(delay_cycles), callback, priority
+        )
+
+    def pending_work(self) -> str | None:
+        """Describe outstanding work for deadlock detection (None = quiesced)."""
+        return None
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Controller(Component):
+    """A component that receives messages from the network, serialized.
+
+    Incoming messages occupy the controller for ``service_cycles`` each and
+    are handled FIFO.  This is the occupancy model that makes probe broadcasts
+    *cost* something at the receiving L2s/TCC — a first-order effect behind
+    the paper's probe-elision speedups.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        clock: ClockDomain,
+        service_cycles: float = 1.0,
+    ) -> None:
+        super().__init__(sim, name, clock)
+        self.service_cycles = service_cycles
+        self._next_free = 0
+
+    def deliver(self, msg: Any) -> None:
+        """Accept a message from the network; called at arrival time."""
+        start = max(self.now, self._next_free)
+        self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
+        busy = start - self.now
+        if busy:
+            self.stats.inc("queue_wait_ticks", busy)
+        self.stats.inc("messages_received")
+        self.sim.events.schedule(start, lambda m=msg: self.handle_message(m))
+
+    def handle_message(self, msg: Any) -> None:
+        raise NotImplementedError(f"{type(self).__name__} must implement handle_message")

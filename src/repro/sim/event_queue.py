@@ -1,0 +1,147 @@
+"""Tick-based event queue and top-level simulator object.
+
+Global simulated time is measured in integer *ticks* (picoseconds by
+convention).  Components never touch ticks directly; they schedule through
+their :class:`~repro.sim.clock.ClockDomain`, which converts local cycles to
+ticks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable
+
+
+class SimulationError(RuntimeError):
+    """Raised for fatal conditions inside the simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while components report pending work."""
+
+
+class EventQueue:
+    """A priority queue of ``(time, priority, sequence, callback)`` events.
+
+    ``priority`` breaks ties between events scheduled for the same tick
+    (lower runs first); ``sequence`` preserves FIFO order among equals so the
+    simulation is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now = 0
+        self.executed_events = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, when: int, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` to run at absolute tick ``when``."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event in the past: when={when} < now={self.now}"
+            )
+        heapq.heappush(self._heap, (when, priority, self._seq, callback))
+        self._seq += 1
+
+    def schedule_after(self, delay: int, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        self.schedule(self.now + delay, callback, priority)
+
+    def pop_and_run(self) -> None:
+        """Advance time to the next event and run it."""
+        when, _priority, _seq, callback = heapq.heappop(self._heap)
+        self.now = when
+        self.executed_events += 1
+        callback()
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> None:
+        """Run events until the queue drains, ``until`` ticks, or ``max_events``."""
+        executed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            self.pop_and_run()
+            executed += 1
+
+
+class Simulator:
+    """Top-level container: event queue, component registry, and run control.
+
+    ``Simulator`` also provides the *quiesce* check used for deadlock
+    detection: any registered component may implement ``pending_work()``
+    returning a truthy description of outstanding work; if the event queue
+    drains while some component still has pending work, the run raises
+    :class:`DeadlockError` naming the offenders.
+    """
+
+    #: Default hard cap on executed events, as a runaway-protocol backstop.
+    DEFAULT_MAX_EVENTS = 500_000_000
+
+    def __init__(self) -> None:
+        self.events = EventQueue()
+        self.components: list[Any] = []
+        self._finalizers: list[Callable[[], None]] = []
+
+    @property
+    def now(self) -> int:
+        return self.events.now
+
+    def register(self, component: Any) -> None:
+        self.components.append(component)
+
+    def add_finalizer(self, callback: Callable[[], None]) -> None:
+        """Register a callback to run once the simulation fully drains."""
+        self._finalizers.append(callback)
+
+    def pending_work(self) -> list[str]:
+        """Describe outstanding work across all components (empty = quiesced)."""
+        pending: list[str] = []
+        for component in self.components:
+            probe = getattr(component, "pending_work", None)
+            if probe is None:
+                continue
+            description = probe()
+            if description:
+                pending.append(f"{component.name}: {description}")
+        return pending
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run to completion; returns the final tick.
+
+        Raises :class:`DeadlockError` if the queue drains with work pending.
+        """
+        limit = self.DEFAULT_MAX_EVENTS if max_events is None else max_events
+        self.events.run(max_events=limit)
+        if len(self.events) > 0:
+            raise SimulationError(
+                f"simulation exceeded max_events={limit} (possible livelock)"
+            )
+        pending = self.pending_work()
+        if pending:
+            raise DeadlockError(
+                "event queue drained with pending work:\n  " + "\n  ".join(pending)
+            )
+        for callback in self._finalizers:
+            callback()
+        return self.events.now
+
+    def run_for(self, ticks: int) -> int:
+        """Run at most ``ticks`` ticks from now; returns the final tick."""
+        self.events.run(until=self.events.now + ticks)
+        return self.events.now
+
+
+def drain(simulator: Simulator, sources: Iterable[Any]) -> int:
+    """Convenience: run ``simulator`` to completion and assert sources finished."""
+    end = simulator.run()
+    for source in sources:
+        done = getattr(source, "done", None)
+        if done is not None and not done:
+            raise DeadlockError(f"source {source!r} did not finish")
+    return end

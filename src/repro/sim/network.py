@@ -1,0 +1,84 @@
+"""On-chip message fabric.
+
+The fabric is a star: every coherence controller registers an endpoint with a
+*kind* (``"l2"``, ``"tcc"``, ``"dir"``, ``"dma"``, ...), and messages between
+endpoints incur a one-way latency taken from a ``(src_kind, dst_kind)`` table
+(falling back to a default).  The fabric counts every message by category and
+by route — those counters are the "network traffic" data behind Figures 5
+and 7 of the paper.
+
+Messages are duck-typed: the fabric requires ``src``, ``dst``, ``category``
+and ``size_bytes`` attributes and otherwise passes them through untouched.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Component, Controller
+from repro.sim.event_queue import SimulationError
+
+if TYPE_CHECKING:
+    from repro.sim.event_queue import Simulator
+
+
+class Network(Component):
+    """Star-topology interconnect with per-route latency and traffic stats."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        clock: ClockDomain,
+        default_latency_cycles: float = 10.0,
+        name: str = "network",
+    ) -> None:
+        super().__init__(sim, name, clock)
+        self.default_latency_cycles = default_latency_cycles
+        self._endpoints: dict[str, Controller] = {}
+        self._kinds: dict[str, str] = {}
+        self._latency_table: dict[tuple[str, str], float] = {}
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, endpoint: Controller, kind: str) -> None:
+        """Register ``endpoint`` (a Controller) under its ``name``."""
+        if endpoint.name in self._endpoints:
+            raise SimulationError(f"duplicate network endpoint {endpoint.name!r}")
+        self._endpoints[endpoint.name] = endpoint
+        self._kinds[endpoint.name] = kind
+
+    def set_latency(self, src_kind: str, dst_kind: str, cycles: float) -> None:
+        """Set the one-way latency between two endpoint kinds (both directions)."""
+        self._latency_table[(src_kind, dst_kind)] = cycles
+        self._latency_table[(dst_kind, src_kind)] = cycles
+
+    def endpoints_of_kind(self, kind: str) -> list[str]:
+        return [name for name, k in self._kinds.items() if k == kind]
+
+    def kind_of(self, name: str) -> str:
+        return self._kinds[name]
+
+    # -- transport --------------------------------------------------------
+
+    def latency_cycles(self, src: str, dst: str) -> float:
+        key = (self._kinds.get(src, "?"), self._kinds.get(dst, "?"))
+        return self._latency_table.get(key, self.default_latency_cycles)
+
+    def send(self, msg: Any) -> None:
+        """Deliver ``msg`` from ``msg.src`` to ``msg.dst`` after the route latency."""
+        dst = self._endpoints.get(msg.dst)
+        if dst is None:
+            raise SimulationError(f"unknown network endpoint {msg.dst!r} for {msg!r}")
+        if msg.src not in self._endpoints:
+            raise SimulationError(f"unknown network source {msg.src!r} for {msg!r}")
+        self._account(msg)
+        delay = self.clock.cycles_to_ticks(self.latency_cycles(msg.src, msg.dst))
+        self.sim.events.schedule_after(delay, lambda: dst.deliver(msg))
+
+    def _account(self, msg: Any) -> None:
+        self.stats.inc("messages")
+        self.stats.inc(f"messages.{msg.category}")
+        self.stats.inc("bytes", msg.size_bytes)
+        route = f"{self._kinds[msg.src]}->{self._kinds[msg.dst]}"
+        self.stats.child("routes").inc(route)

@@ -1,0 +1,87 @@
+"""Hierarchical statistics.
+
+Every component owns a :class:`StatGroup`.  Groups hold integer counters
+(created lazily on first increment), scalar values, and child groups, and can
+be rendered as a flat ``name.counter = value`` listing — close in spirit to
+gem5's ``stats.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class StatGroup:
+    """A named bag of counters and child groups."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, int | float] = {}
+        self._children: dict[str, "StatGroup"] = {}
+
+    # -- counters ---------------------------------------------------------
+
+    def inc(self, counter: str, amount: int | float = 1) -> None:
+        """Increment ``counter`` by ``amount`` (creating it at zero)."""
+        self._counters[counter] = self._counters.get(counter, 0) + amount
+
+    def set(self, counter: str, value: int | float) -> None:
+        self._counters[counter] = value
+
+    def get(self, counter: str, default: int | float = 0) -> int | float:
+        return self._counters.get(counter, default)
+
+    def __getitem__(self, counter: str) -> int | float:
+        return self._counters.get(counter, 0)
+
+    def counters(self) -> dict[str, int | float]:
+        """A copy of this group's own counters (children excluded)."""
+        return dict(self._counters)
+
+    # -- hierarchy --------------------------------------------------------
+
+    def child(self, name: str) -> "StatGroup":
+        """Get or create a child group."""
+        group = self._children.get(name)
+        if group is None:
+            group = StatGroup(name)
+            self._children[name] = group
+        return group
+
+    def children(self) -> dict[str, "StatGroup"]:
+        return dict(self._children)
+
+    # -- aggregation ------------------------------------------------------
+
+    def total(self, counter: str) -> int | float:
+        """Sum of ``counter`` over this group and all descendants."""
+        value = self._counters.get(counter, 0)
+        for childgroup in self._children.values():
+            value += childgroup.total(counter)
+        return value
+
+    def walk(self, prefix: str = "") -> Iterator[tuple[str, int | float]]:
+        """Yield ``(dotted_name, value)`` for every counter in the subtree."""
+        base = f"{prefix}{self.name}"
+        for counter, value in sorted(self._counters.items()):
+            yield f"{base}.{counter}", value
+        for child_name in sorted(self._children):
+            yield from self._children[child_name].walk(prefix=f"{base}.")
+
+    def as_dict(self) -> dict[str, int | float]:
+        return dict(self.walk())
+
+    def dump(self) -> str:
+        """Render the subtree as aligned ``name = value`` lines."""
+        rows = list(self.walk())
+        if not rows:
+            return f"{self.name}: (no stats)"
+        width = max(len(name) for name, _value in rows)
+        lines = [f"{name:<{width}} = {value}" for name, value in rows]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"StatGroup({self.name!r}, counters={len(self._counters)}, "
+            f"children={len(self._children)})"
+        )

@@ -1,0 +1,84 @@
+"""Protocol tracing — the gem5 ``--debug-flags=ProtocolTrace`` analogue.
+
+Attach a :class:`ProtocolTrace` to a system (or a single directory) and
+every directory-level protocol event — request accepted, probes sent,
+response, transaction complete — lands in a bounded ring buffer that can be
+filtered by address and rendered as aligned text.  The hooks are free when
+no trace is attached (a ``None`` check per event).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.coherence.directory import DirectoryController
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: int
+    source: str
+    event: str
+    addr: int
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.time:>12} {self.source:<6} {self.event:<10} {self.addr:#08x} {self.detail}"
+
+
+class ProtocolTrace:
+    """Bounded ring buffer of directory protocol events."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    # -- attachment ------------------------------------------------------------
+
+    def attach(self, *directories: "DirectoryController") -> "ProtocolTrace":
+        for directory in directories:
+            directory.trace = self
+        return self
+
+    def attach_system(self, system) -> "ProtocolTrace":
+        return self.attach(*system.directories)
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, time: int, source: str, event: str, addr: int, detail: str = "") -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(time, source, event, addr, detail))
+
+    # -- querying -----------------------------------------------------------------
+
+    def events(
+        self, addr: int | None = None, event: str | None = None
+    ) -> list[TraceEvent]:
+        selected: Iterable[TraceEvent] = self._events
+        if addr is not None:
+            selected = (e for e in selected if e.addr == addr)
+        if event is not None:
+            selected = (e for e in selected if e.event == event)
+        return list(selected)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def dump(self, addr: int | None = None, limit: int | None = None) -> str:
+        """Render (optionally address-filtered) events as text."""
+        rows = self.events(addr=addr)
+        if limit is not None:
+            rows = rows[-limit:]
+        header = f"{'time':>12} {'dir':<6} {'event':<10} {'addr':<10} detail"
+        body = "\n".join(str(event) for event in rows)
+        suffix = f"\n({self.dropped} earlier events dropped)" if self.dropped else ""
+        return f"{header}\n{body}{suffix}" if body else f"{header}\n(empty){suffix}"
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0

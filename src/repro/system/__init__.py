@@ -1,0 +1,13 @@
+"""System assembly: configuration, builder, and the top-level APU object."""
+
+from repro.system.apu import ApuSystem, SimulationResult
+from repro.system.builder import build_system
+from repro.system.config import CacheGeometry, SystemConfig
+
+__all__ = [
+    "ApuSystem",
+    "CacheGeometry",
+    "SimulationResult",
+    "SystemConfig",
+    "build_system",
+]

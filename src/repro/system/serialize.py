@@ -1,0 +1,76 @@
+"""Configuration (de)serialization.
+
+Experiments live or die by config provenance: ``config_to_dict`` /
+``config_from_dict`` round-trip a full :class:`SystemConfig` (including its
+:class:`DirectoryPolicy`) through plain JSON-able dicts, so a run's exact
+configuration can be stored next to its results and replayed bit-for-bit
+(``python -m repro run ... --config-file saved.json``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from repro.coherence.policies import DirectoryKind, DirectoryPolicy
+from repro.system.config import CacheGeometry, SystemConfig
+
+_GEOMETRY_FIELDS = {"l1d", "l1i", "l2", "tcp", "sqc", "tcc", "llc"}
+
+
+def policy_to_dict(policy: DirectoryPolicy) -> dict:
+    data = dataclasses.asdict(policy)
+    data["kind"] = policy.kind.value
+    data["readonly_regions"] = [list(r) for r in policy.readonly_regions]
+    return data
+
+
+def policy_from_dict(data: dict) -> DirectoryPolicy:
+    fields = dict(data)
+    fields["kind"] = DirectoryKind(fields.get("kind", "stateless"))
+    fields["readonly_regions"] = tuple(
+        tuple(region) for region in fields.get("readonly_regions", ())
+    )
+    known = set(DirectoryPolicy.__dataclass_fields__)
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"unknown policy fields: {sorted(unknown)}")
+    return DirectoryPolicy(**fields)
+
+
+def config_to_dict(config: SystemConfig) -> dict:
+    data = {}
+    for field in dataclasses.fields(SystemConfig):
+        value = getattr(config, field.name)
+        if field.name in _GEOMETRY_FIELDS:
+            data[field.name] = dataclasses.asdict(value)
+        elif field.name == "policy":
+            data[field.name] = policy_to_dict(value)
+        else:
+            data[field.name] = value
+    return data
+
+
+def config_from_dict(data: dict) -> SystemConfig:
+    fields = dict(data)
+    for name in _GEOMETRY_FIELDS & set(fields):
+        fields[name] = CacheGeometry(**fields[name])
+    if "policy" in fields:
+        fields["policy"] = policy_from_dict(fields["policy"])
+    known = set(SystemConfig.__dataclass_fields__)
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    config = SystemConfig(**fields)
+    config.validate()
+    return config
+
+
+def save_config(config: SystemConfig, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(config_to_dict(config), handle, indent=2)
+
+
+def load_config(path: str) -> SystemConfig:
+    with open(path) as handle:
+        return config_from_dict(json.load(handle))

@@ -1,0 +1,12 @@
+"""Verification: coherence invariant monitoring and value-oracle checks.
+
+This is the reproduction's substitute for the CHAI benchmarks' output
+verification: an invariant monitor that inspects global cache state after
+every directory transaction, and a value oracle asserting that loads only
+ever observe values some agent actually wrote.
+"""
+
+from repro.verify.invariants import CoherenceMonitor, InvariantViolation
+from repro.verify.oracle import ValueOracle
+
+__all__ = ["CoherenceMonitor", "InvariantViolation", "ValueOracle"]

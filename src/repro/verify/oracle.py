@@ -1,0 +1,155 @@
+"""Value oracle: every load must observe a value somebody actually wrote.
+
+The oracle wraps workload programs (CPU threads and GPU wavefronts alike)
+at the generator level: it watches the ops flow by, records the set of
+values ever written to each word, and checks that every load / atomic
+old-value / spin result is a member of that set (or the word's initial
+value).  This catches data corruption — wrong-line routing, lost merges,
+probe/response data mix-ups — without constraining legal weak-memory
+reorderings.
+
+Stronger, exact final-value checking is the job of each workload's own
+``checks`` (the CHAI output-verification analogue).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.mem.address import LINE_BYTES, line_addr, word_index
+from repro.protocol.atomics import AtomicOp
+from repro.workloads.base import KernelSpec, WorkloadBuild
+from repro.workloads import trace as ops
+
+
+class ValueOracle:
+    def __init__(self) -> None:
+        #: legal observable values per word address
+        self._legal: dict[int, set[int]] = {}
+        self.errors: list[str] = []
+        self.loads_checked = 0
+
+    # -- seeding -----------------------------------------------------------------
+
+    def seed_word(self, addr: int, value: int) -> None:
+        self._legal.setdefault(addr, {0}).add(value)
+
+    def _legal_set(self, addr: int) -> set[int]:
+        return self._legal.setdefault(addr, {0})
+
+    def note_write(self, addr: int, value: int) -> None:
+        self._legal_set(addr).add(value)
+
+    # -- wrapping ----------------------------------------------------------------------
+
+    def wrap_build(self, build: WorkloadBuild) -> WorkloadBuild:
+        """A copy of ``build`` whose programs report into this oracle."""
+        for addr, line in build.initial_memory.items():
+            for index, value in enumerate(line.words):
+                if value:
+                    self.seed_word(addr + 4 * index, value)
+        for transfer in build.dma_transfers:
+            if transfer.kind == "write":
+                base = line_addr(transfer.start_addr)
+                for line_index in range(transfer.lines):
+                    for word in range(16):
+                        self.note_write(
+                            base + line_index * LINE_BYTES + 4 * word, transfer.value
+                        )
+        return WorkloadBuild(
+            cpu_programs=[self.wrap_factory(f, f"cpu{i}")
+                          for i, f in enumerate(build.cpu_programs)],
+            dma_transfers=build.dma_transfers,
+            initial_memory=build.initial_memory,
+            checks=build.checks,
+        )
+
+    def wrap_factory(self, factory: Callable[[], Generator], agent: str):
+        def wrapped() -> Generator:
+            return self._observe(factory(), agent)
+
+        return wrapped
+
+    def _wrap_kernel(self, kernel: KernelSpec) -> KernelSpec:
+        workgroups = [
+            [self.wrap_factory(f, f"{kernel.name}.wg{w}.wf{i}")
+             for i, f in enumerate(group)]
+            for w, group in enumerate(kernel.workgroups)
+        ]
+        return KernelSpec(
+            name=kernel.name,
+            workgroups=workgroups,
+            code_addrs=kernel.code_addrs,
+            ifetch_interval=kernel.ifetch_interval,
+        )
+
+    # -- the observer generator -----------------------------------------------------------
+
+    def _observe(self, program: Generator, agent: str) -> Generator:
+        result = None
+        while True:
+            try:
+                op = program.send(result)
+            except StopIteration:
+                return
+            if isinstance(op, ops.Load):
+                result = yield op
+                self._check(op.addr, result, agent, "load")
+            elif isinstance(op, ops.VLoad):
+                result = yield op
+                values = result if isinstance(result, tuple) else (result,)
+                for addr, value in zip(op.addrs, values):
+                    self._check(addr, value, agent, "vload")
+            elif isinstance(op, ops.SpinUntil):
+                result = yield op
+                self._check(op.addr, result, agent, "spin")
+            elif isinstance(op, ops.Store):
+                self.note_write(op.addr, op.value)
+                result = yield op
+            elif isinstance(op, ops.VStore):
+                values = op.values
+                if isinstance(values, int):
+                    values = [values] * len(op.addrs)
+                for addr, value in zip(op.addrs, values):
+                    self.note_write(addr, value)
+                result = yield op
+            elif isinstance(op, ops.AtomicRMW):
+                old = yield op
+                self._check(op.addr, old, agent, "atomic-old")
+                self.note_write(op.addr, _atomic_result(op, old))
+                result = old
+            elif isinstance(op, ops.LaunchKernel):
+                result = yield ops.LaunchKernel(self._wrap_kernel(op.kernel))
+            else:
+                result = yield op
+
+    def _check(self, addr: int, value: object, agent: str, what: str) -> None:
+        self.loads_checked += 1
+        if not isinstance(value, int):
+            self.errors.append(f"{agent}: {what} of {addr:#x} returned {value!r}")
+            return
+        if value not in self._legal_set(addr):
+            self.errors.append(
+                f"{agent}: {what} of word {addr:#x} observed {value}, "
+                f"never written (legal: {sorted(self._legal_set(addr))[:8]}...)"
+            )
+
+
+def _atomic_result(op: ops.AtomicRMW, old: int) -> int:
+    if op.op is AtomicOp.ADD:
+        return old + op.operand
+    if op.op is AtomicOp.INC:
+        return old + 1
+    if op.op is AtomicOp.EXCH:
+        return op.operand
+    if op.op is AtomicOp.CAS:
+        return op.operand if old == op.compare else old
+    if op.op is AtomicOp.MAX:
+        return max(old, op.operand)
+    if op.op is AtomicOp.MIN:
+        return min(old, op.operand)
+    if op.op is AtomicOp.AND:
+        return old & op.operand
+    if op.op is AtomicOp.OR:
+        return old | op.operand
+    raise ValueError(f"unknown atomic op {op.op!r}")

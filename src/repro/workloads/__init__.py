@@ -1,0 +1,57 @@
+"""Workload framework and the CHAI-like collaborative benchmark suite.
+
+Workloads are *programs*, not static traces: CPU threads and GPU wavefronts
+are Python generators that yield :mod:`repro.workloads.trace` ops and
+receive each op's result (loaded values, atomic old-values) back — enough
+expressive power for CHAI's work queues, flag synchronization, and
+data-dependent control flow, while staying fully deterministic.
+"""
+
+from repro.workloads.base import (
+    KernelSpec,
+    Workload,
+    WorkloadBuild,
+    WorkloadContext,
+)
+from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.trace import (
+    AcquireFence,
+    AtomicRMW,
+    Barrier,
+    HostBarrier,
+    LaunchKernel,
+    LdsAccess,
+    Load,
+    ReleaseFence,
+    SpinUntil,
+    Store,
+    Think,
+    VLoad,
+    VStore,
+    WaitKernel,
+    WgBarrier,
+)
+
+__all__ = [
+    "AcquireFence",
+    "AtomicRMW",
+    "Barrier",
+    "HostBarrier",
+    "KernelSpec",
+    "LaunchKernel",
+    "LdsAccess",
+    "Load",
+    "ReleaseFence",
+    "SpinUntil",
+    "Store",
+    "Think",
+    "VLoad",
+    "VStore",
+    "WaitKernel",
+    "WgBarrier",
+    "Workload",
+    "WorkloadBuild",
+    "WorkloadContext",
+    "available_workloads",
+    "get_workload",
+]

@@ -1,0 +1,51 @@
+"""The CHAI-like collaborative benchmark suite.
+
+Ten workloads mirroring the sharing and synchronization structure of the
+CHAI benchmarks the paper evaluates (§V): Bezier Surface (bs), Canny Edge
+Detection (cedd), Padding (pad), Stream Compaction (sc), Task Queue (tq),
+Histogram input/output partitioned (hsti/hsto), In-place Transposition
+(trns), and Random Sample Consensus data/task parallel (rscd/rsct).
+
+Each module documents which CHAI collaboration pattern it reproduces.  The
+paper could not verify rscd/rsct outputs even in its baseline; ours do
+verify (see EXPERIMENTS.md).
+"""
+
+from repro.workloads.chai.bs import BezierSurface
+from repro.workloads.chai.cedd import CannyEdgeDetection
+from repro.workloads.chai.hsti import HistogramInputPartitioned
+from repro.workloads.chai.hsto import HistogramOutputPartitioned
+from repro.workloads.chai.pad import Padding
+from repro.workloads.chai.rscd import RansacDataParallel
+from repro.workloads.chai.rsct import RansacTaskParallel
+from repro.workloads.chai.sc import StreamCompaction
+from repro.workloads.chai.tq import TaskQueue
+from repro.workloads.chai.trns import InPlaceTransposition
+
+#: the paper's benchmark order (Figure 4/5 x-axis)
+ALL_WORKLOADS = [
+    BezierSurface(),
+    CannyEdgeDetection(),
+    Padding(),
+    StreamCompaction(),
+    TaskQueue(),
+    HistogramInputPartitioned(),
+    HistogramOutputPartitioned(),
+    InPlaceTransposition(),
+    RansacDataParallel(),
+    RansacTaskParallel(),
+]
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "BezierSurface",
+    "CannyEdgeDetection",
+    "HistogramInputPartitioned",
+    "HistogramOutputPartitioned",
+    "InPlaceTransposition",
+    "Padding",
+    "RansacDataParallel",
+    "RansacTaskParallel",
+    "StreamCompaction",
+    "TaskQueue",
+]

@@ -1,0 +1,117 @@
+"""Shared building blocks for the CHAI-like workloads.
+
+The CHAI suite's collaboration idioms, distilled:
+
+- **coarse data partitioning**: CPU threads and GPU workgroups own disjoint
+  index ranges of a shared array (bs, hsto, rscd);
+- **chunk claiming**: workers dynamically grab chunks from a shared atomic
+  counter (sc, trns, hsti);
+- **work queues**: producers enqueue task descriptors, consumers dequeue
+  with atomic head/tail indices and flag-guarded payloads (tq, rsct, cedd);
+- **fine-grained flags**: per-chunk ready flags connect pipeline stages
+  across devices (cedd, pad).
+
+All helpers keep the *memory behaviour* of the idiom: which words are
+shared, who writes them, and which atomics order the handoffs.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from repro.protocol.atomics import AtomicOp
+from repro.workloads import trace as ops
+
+
+def partition(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous [lo, hi) spans."""
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    base, extra = divmod(total, parts)
+    spans = []
+    lo = 0
+    for index in range(parts):
+        hi = lo + base + (1 if index < extra else 0)
+        spans.append((lo, hi))
+        lo = hi
+    return spans
+
+
+def chunks(lo: int, hi: int, size: int) -> Iterable[tuple[int, int]]:
+    for start in range(lo, hi, size):
+        yield start, min(start + size, hi)
+
+
+# -- CPU-side idioms -------------------------------------------------------------
+
+
+def cpu_claim_chunk(counter_addr: int) -> ops.AtomicRMW:
+    """Grab the next chunk index from a shared counter."""
+    return ops.AtomicRMW(counter_addr, AtomicOp.ADD, 1)
+
+
+def cpu_set_flag(addr: int, value: int = 1) -> ops.Store:
+    return ops.Store(addr, value)
+
+
+def cpu_wait_flag(addr: int, value: int = 1, backoff: int = 200) -> ops.SpinUntil:
+    return ops.SpinUntil(addr, lambda v, want=value: v >= want, backoff_cycles=backoff)
+
+
+def cpu_process_span(
+    addrs: list[int], out_addrs: list[int] | None, transform, think: int = 4
+) -> Generator:
+    """Load every word of a span, optionally store transformed values."""
+    for index, addr in enumerate(addrs):
+        value = yield ops.Load(addr)
+        if think:
+            yield ops.Think(think)
+        if out_addrs is not None:
+            yield ops.Store(out_addrs[index], transform(value))
+
+
+# -- GPU-side idioms ----------------------------------------------------------------
+
+
+def gpu_claim_chunk(counter_addr: int) -> ops.AtomicRMW:
+    return ops.AtomicRMW(counter_addr, AtomicOp.ADD, 1, scope="slc")
+
+
+def gpu_set_flag(addr: int, value: int = 1) -> ops.AtomicRMW:
+    """GPU flag set with system visibility (an SLC exchange)."""
+    return ops.AtomicRMW(addr, AtomicOp.EXCH, value, scope="slc")
+
+
+def gpu_spin_flag(addr: int, want: int = 1, max_spins: int = 100_000) -> Generator:
+    """GPU-side flag wait through SLC atomic reads (they bypass stale caches)."""
+    for _ in range(max_spins):
+        value = yield ops.AtomicRMW(addr, AtomicOp.ADD, 0, scope="slc")
+        if value >= want:
+            return
+        yield ops.Think(200)
+    raise RuntimeError(f"GPU spun out waiting on flag {addr:#x}")
+
+
+def gpu_process_span(
+    addrs: list[int], out_addrs: list[int] | None, transform,
+    vector: int = 16, think: int = 8,
+) -> Generator:
+    """Coalesced load/transform/store over a span, ``vector`` words at a time."""
+    for start in range(0, len(addrs), vector):
+        batch = addrs[start:start + vector]
+        values = yield ops.VLoad(batch)
+        if not isinstance(values, tuple):
+            values = (values,)
+        if think:
+            yield ops.Think(think)
+        if out_addrs is not None:
+            outs = out_addrs[start:start + vector]
+            yield ops.VStore(outs, [transform(v) for v in values])
+
+
+# -- deterministic pseudo-data ---------------------------------------------------------
+
+
+def token(agent: int, index: int) -> int:
+    """A tagged, collision-free data token (identifies writer and element)."""
+    return (agent + 1) * 1_000_000 + index + 1

@@ -1,0 +1,28 @@
+"""Registry of the CHAI-like benchmark suite."""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+
+def _suite() -> dict[str, Workload]:
+    # Imported lazily so `repro.workloads` has no import cycle with the
+    # benchmark modules (which import the trace/base vocabulary).
+    from repro.workloads.chai import ALL_WORKLOADS
+
+    return {workload.name: workload for workload in ALL_WORKLOADS}
+
+
+def available_workloads() -> list[str]:
+    """Names of every bundled benchmark, in the paper's order."""
+    return list(_suite().keys())
+
+
+def get_workload(name: str) -> Workload:
+    suite = _suite()
+    try:
+        return suite[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(suite)}"
+        ) from None

@@ -1,0 +1,57 @@
+"""Tests for the energy model."""
+
+from __future__ import annotations
+
+from repro import SystemConfig, build_system, get_workload
+from repro.analysis.energy import (
+    EnergyEstimate,
+    EnergyModel,
+    energy_comparison,
+    estimate_energy,
+)
+from repro.coherence.policies import PRESETS
+
+
+def run(policy_name: str):
+    system = build_system(SystemConfig.benchmark(policy=PRESETS[policy_name]))
+    return system.run_workload(get_workload("tq"), scale=0.5)
+
+
+class TestEnergyModel:
+    def test_breakdown_has_every_component(self):
+        estimate = estimate_energy(run("baseline"))
+        assert set(estimate.breakdown_nj) == {
+            "directory", "probes", "llc", "memory", "network", "l2", "l1",
+        }
+        assert estimate.total_nj > 0
+
+    def test_precise_directory_saves_energy(self):
+        """The paper's headline energy argument: fewer probes + fewer
+        memory interactions => lower uncore energy."""
+        baseline = estimate_energy(run("baseline"))
+        precise = estimate_energy(run("sharers"))
+        assert precise.reduction_vs(baseline) > 10.0
+        assert precise.breakdown_nj["probes"] < baseline.breakdown_nj["probes"]
+        assert precise.breakdown_nj["memory"] < baseline.breakdown_nj["memory"]
+
+    def test_custom_model_scales(self):
+        result = run("baseline")
+        cheap = estimate_energy(result, EnergyModel(pj_per_mem_access=0))
+        default = estimate_energy(result)
+        assert cheap.breakdown_nj["memory"] == 0
+        assert cheap.total_nj < default.total_nj
+
+    def test_reduction_vs_self_is_zero(self):
+        estimate = estimate_energy(run("baseline"))
+        assert estimate.reduction_vs(estimate) == 0.0
+
+    def test_reduction_vs_empty_baseline(self):
+        assert EnergyEstimate().reduction_vs(EnergyEstimate()) == 0.0
+
+    def test_to_text_and_comparison_table(self):
+        results = {"baseline": run("baseline"), "sharers": run("sharers")}
+        estimate = estimate_energy(results["baseline"])
+        assert "total" in estimate.to_text()
+        table = energy_comparison(results)
+        assert "baseline" in table and "sharers" in table
+        assert "saved %" in table

@@ -1,0 +1,34 @@
+"""Unit tests for the reproduction scorecard."""
+
+from __future__ import annotations
+
+from repro.analysis.validate import Claim, build_scorecard, scorecard_text
+from repro.analysis.experiments import ExperimentMatrix
+from repro.system.config import SystemConfig
+
+
+class TestScorecardRendering:
+    def test_text_marks_pass_and_fail(self):
+        claims = [
+            Claim("here", "good thing", "1", "1", True),
+            Claim("there", "bad thing", "2", "0", False),
+        ]
+        text = scorecard_text(claims)
+        assert "PASS" in text and "FAIL" in text
+        assert "1/2 claims reproduced" in text
+
+
+class TestScorecardEndToEnd:
+    def test_all_claims_hold_at_reduced_scale(self):
+        """The scorecard must be robust to the problem-size knob."""
+        matrix = ExperimentMatrix(
+            config_factory=SystemConfig.benchmark, scale=0.4
+        )
+        claims = build_scorecard(matrix)
+        assert len(claims) == 7
+        failures = [c for c in claims if not c.holds]
+        assert not failures, [f"{c.source}: {c.measured_value}" for c in failures]
+        # every claim carries both the paper's number and ours
+        for claim in claims:
+            assert claim.paper_value
+            assert claim.measured_value

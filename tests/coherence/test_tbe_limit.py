@@ -1,0 +1,58 @@
+"""Tests for the directory transaction-buffer (TBE) limit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, build_system, get_workload
+from repro.coherence.policies import PRESETS, DirectoryPolicy
+from repro.protocol.types import MsgType
+
+from tests.coherence.harness import DirHarness
+
+ADDR = 0xC000
+
+
+class TestAdmissionControl:
+    def test_requests_beyond_limit_stall(self):
+        h = DirHarness(policy=DirectoryPolicy(dir_max_transactions=1))
+        h.memory.latency_cycles = 2000  # keep the first txn in flight
+        h.l2s[0].request(MsgType.RDBLK, ADDR)
+        h.l2s[1].request(MsgType.RDBLK, ADDR + 0x40)
+        h.run()
+        assert h.directory.stats["admission_stalls"] == 1
+        # both eventually complete
+        assert h.directory.stats["transactions_completed"] == 2
+        assert len(h.l2s[0].received.responses) == 1
+        assert len(h.l2s[1].received.responses) == 1
+
+    def test_no_limit_means_no_stalls(self):
+        h = DirHarness()
+        for index in range(6):
+            h.l2s[index % 2].request(MsgType.RDBLK, ADDR + index * 0x40)
+        h.run()
+        assert h.directory.stats["admission_stalls"] == 0
+
+    def test_admission_respects_line_serialization(self):
+        """A stalled request whose line becomes busy re-queues per line."""
+        h = DirHarness(policy=DirectoryPolicy(dir_max_transactions=1))
+        h.memory.latency_cycles = 2000
+        h.l2s[0].request(MsgType.RDBLK, ADDR)
+        h.l2s[1].request(MsgType.RDBLK, ADDR)          # same line: waits
+        h.l2s[1].request(MsgType.RDBLK, ADDR + 0x40)   # stalled at admission
+        h.run()
+        assert h.directory.stats["transactions_completed"] == 3
+
+    def test_tbe_pressure_slows_but_stays_correct(self):
+        fast = build_system(SystemConfig.small(policy=PRESETS["baseline"]))
+        free = fast.run_workload(get_workload("sc"), scale=0.25, verify=True)
+        limited_policy = PRESETS["baseline"].named(dir_max_transactions=1)
+        slow = build_system(SystemConfig.small(policy=limited_policy))
+        squeezed = slow.run_workload(get_workload("sc"), scale=0.25, verify=True)
+        assert free.ok and squeezed.ok
+        assert squeezed.cycles >= free.cycles
+        assert squeezed.stats["dir.admission_stalls"] > 0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError, match="dir_max_transactions"):
+            DirectoryPolicy(dir_max_transactions=0).validate()

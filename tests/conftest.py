@@ -1,0 +1,19 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockDomain
+from repro.sim.event_queue import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def clock() -> ClockDomain:
+    """A 1 GHz clock: 1 cycle == 1000 ticks, easy mental arithmetic."""
+    return ClockDomain("test", 1e9)

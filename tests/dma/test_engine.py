@@ -1,0 +1,94 @@
+"""Unit tests for the DMA engine (against the real directory)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dma.engine import DmaEngine
+from repro.sim.event_queue import SimulationError
+from repro.workloads.trace import DmaTransfer
+
+from tests.coherence.harness import DirHarness
+
+
+def with_dma_engine(h: DirHarness, max_outstanding: int = 2) -> DmaEngine:
+    engine = DmaEngine(
+        h.sim, "dma1", h.clock, h.network, "dir", max_outstanding=max_outstanding
+    )
+    h.network.attach(engine, kind="dma")
+    return engine
+
+
+class TestTransfers:
+    def test_write_transfer_fills_lines(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        engine.run_transfers([DmaTransfer("write", 0x1000, 4, value=9)])
+        h.run()
+        assert engine.done
+        for index in range(4):
+            assert h.memory.peek(0x1000 + index * 64).word(0) == 9
+        assert engine.stats["line_writes"] == 4
+
+    def test_read_transfer_touches_every_line(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        engine.run_transfers([DmaTransfer("read", 0x2000, 8)])
+        h.run()
+        assert engine.stats["line_reads"] == 8
+
+    def test_transfers_run_in_order(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        engine.run_transfers([
+            DmaTransfer("write", 0x1000, 2, value=1),
+            DmaTransfer("write", 0x1000, 2, value=2),  # same lines, later wins
+        ])
+        h.run()
+        assert h.memory.peek(0x1000).word(0) == 2
+
+    def test_outstanding_limit_respected(self):
+        h = DirHarness()
+        engine = with_dma_engine(h, max_outstanding=2)
+        engine.run_transfers([DmaTransfer("read", 0x3000, 10)])
+        peak = 0
+
+        original = engine._pump
+
+        def spy():
+            nonlocal peak
+            original()
+            peak = max(peak, engine._outstanding)
+
+        engine._pump = spy
+        h.run()
+        assert peak <= 2
+
+    def test_completion_callback(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        done = []
+        engine.run_transfers([DmaTransfer("read", 0x100, 1)], on_done=lambda: done.append(1))
+        h.run()
+        assert done == [1]
+
+    def test_busy_engine_rejects_new_transfers(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        engine.run_transfers([DmaTransfer("read", 0x100, 1)])
+        with pytest.raises(SimulationError, match="already busy"):
+            engine.run_transfers([DmaTransfer("read", 0x200, 1)])
+
+    def test_bad_descriptor_rejected(self):
+        with pytest.raises(ValueError, match="bad DMA kind"):
+            DmaTransfer("move", 0, 1)
+        with pytest.raises(ValueError, match="at least one line"):
+            DmaTransfer("read", 0, 0)
+
+    def test_pending_work_reporting(self):
+        h = DirHarness()
+        engine = with_dma_engine(h)
+        engine.run_transfers([DmaTransfer("read", 0x100, 1)])
+        assert engine.pending_work() is not None
+        h.run()
+        assert engine.pending_work() is None

@@ -1,0 +1,48 @@
+"""Unit tests for the SQC (GPU instruction cache)."""
+
+from __future__ import annotations
+
+from repro.protocol.types import MoesiState, MsgType
+
+from tests.cpu.harness import DirScript
+from tests.gpu.harness import GpuHarness
+
+CODE = 0xE000
+
+
+class TestSqc:
+    def test_miss_refills_through_tcc(self):
+        h = GpuHarness()
+        done = []
+        h.sqc.fetch(CODE, lambda: done.append(True))
+        h.run()
+        assert done == [True]
+        assert h.sqc.stats["misses"] == 1
+        # the refill reached the directory as a TCC read
+        assert len(h.directory.requests_of(MsgType.RDBLK)) == 1
+
+    def test_hit_is_local(self):
+        h = GpuHarness()
+        h.sqc.fetch(CODE, lambda: None)
+        h.run()
+        h.sqc.fetch(CODE + 4, lambda: None)  # same line
+        h.run()
+        assert h.sqc.stats["hits"] == 1
+        assert len(h.directory.requests) == 1
+
+    def test_invalidate_all_forces_refetch(self):
+        h = GpuHarness()
+        h.sqc.fetch(CODE, lambda: None)
+        h.run()
+        h.sqc.invalidate_all()
+        h.sqc.fetch(CODE, lambda: None)
+        h.run()
+        assert h.sqc.stats["misses"] == 2
+
+    def test_code_shared_with_tcc(self):
+        """SQC refills populate the TCC, so a second CU's ifetch hits there."""
+        h = GpuHarness()
+        h.directory.script[CODE] = DirScript(MoesiState.S)
+        h.sqc.fetch(CODE, lambda: None)
+        h.run()
+        assert h.tcc.array.lookup(CODE, touch=False) is not None

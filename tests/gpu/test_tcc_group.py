@@ -1,0 +1,65 @@
+"""Tests for TCC banking (address-interleaved TCC groups)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, build_system, get_workload
+from repro.coherence.policies import PRESETS
+from repro.gpu.tcc_group import TccGroup
+
+
+class TestTccGroup:
+    def test_routing_interleaves_lines(self):
+        banks = ["b0", "b1"]  # duck-typed: of() only indexes
+        group = TccGroup(banks)
+        assert group.of(0x00) == "b0"
+        assert group.of(0x40) == "b1"
+        assert group.of(0x80) == "b0"
+
+    def test_single_bank_routes_everything_to_it(self):
+        group = TccGroup(["only"])
+        assert all(group.of(a) == "only" for a in (0, 0x40, 0x1000))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TccGroup([])
+
+
+@pytest.mark.parametrize("num_tccs", [1, 2, 4])
+@pytest.mark.parametrize("policy", ["baseline", "sharers"])
+class TestBankedTcc:
+    def test_suite_verifies_with_tcc_banks(self, num_tccs, policy):
+        config = SystemConfig.small(policy=PRESETS[policy], num_tccs=num_tccs)
+        system = build_system(config)
+        assert len(system.tccs) == num_tccs
+        result = system.run_workload(get_workload("tq"), scale=0.25, verify=True)
+        assert result.ok, (num_tccs, result.check_errors[:3])
+
+    def test_gpu_traffic_spreads_across_banks(self, num_tccs, policy):
+        config = SystemConfig.small(policy=PRESETS[policy], num_tccs=num_tccs)
+        system = build_system(config)
+        result = system.run_workload(get_workload("sc"), scale=0.5, verify=True)
+        assert result.ok
+        busy = sum(
+            1 for tcc in system.tccs
+            if tcc.stats["hits"] + tcc.stats["misses"] + tcc.stats["writes"] > 0
+        )
+        assert busy == num_tccs
+
+
+class TestBankedTccWriteback:
+    def test_wb_mode_with_banks(self):
+        config = SystemConfig.small(
+            policy=PRESETS["sharers"], num_tccs=2, gpu_tcc_writeback=True
+        )
+        system = build_system(config)
+        result = system.run_workload(get_workload("bs"), scale=0.5, verify=True)
+        assert result.ok
+        # the release fence flushed/drained every bank
+        for tcc in system.tccs:
+            assert tcc.pending_work() is None
+
+    def test_bad_tcc_count_rejected(self):
+        with pytest.raises(ValueError, match="at least one TCC"):
+            SystemConfig.small(num_tccs=0).validate()

@@ -1,0 +1,58 @@
+"""End-to-end runs under the gem5 WB_L1 / WB_L2 GPU cache configurations.
+
+The paper's §II describes the parameters that flip the TCP (WB_L1) and TCC
+(WB_L2) from write-through to write-back, enabling scoped synchronization.
+The whole CHAI suite must verify under every combination, and write-back
+GPU caches must visibly change the traffic profile (fewer streaming WTs,
+write-backs at flush points instead).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, available_workloads, build_system, get_workload
+from repro.coherence.policies import PRESETS
+
+CONFIGS = {
+    "wt_l1_wt_l2": dict(gpu_tcp_writeback=False, gpu_tcc_writeback=False),
+    "wt_l1_wb_l2": dict(gpu_tcp_writeback=False, gpu_tcc_writeback=True),
+    "wb_l1_wb_l2": dict(gpu_tcp_writeback=True, gpu_tcc_writeback=True),
+    "wb_l1_wt_l2": dict(gpu_tcp_writeback=True, gpu_tcc_writeback=False),
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("name", available_workloads())
+class TestSuiteUnderGpuWritebackConfigs:
+    def test_verifies(self, config_name, name):
+        system = build_system(
+            SystemConfig.small(policy=PRESETS["sharers"], **CONFIGS[config_name])
+        )
+        result = system.run_workload(get_workload(name), scale=0.25, verify=True)
+        assert result.ok, (config_name, result.check_errors[:3])
+
+
+class TestWritebackTrafficProfile:
+    def run(self, **overrides):
+        system = build_system(SystemConfig.benchmark(policy=PRESETS["baseline"], **overrides))
+        result = system.run_workload(get_workload("bs"), scale=0.5)
+        assert result.ok
+        return system, result
+
+    def test_wb_l2_coalesces_gpu_writes(self):
+        """A WB TCC turns per-store WTs into per-line flush write-backs."""
+        _wt_system, wt_result = self.run(gpu_tcc_writeback=False)
+        wb_system, wb_result = self.run(gpu_tcc_writeback=True)
+        wt_requests = wt_result.stats.get("dir.requests.WT", 0)
+        wb_requests = wb_result.stats.get("dir.requests.WT", 0)
+        assert wb_requests < wt_requests
+        assert wb_system.tcc.stats["flush_writebacks"] > 0
+
+    def test_wb_l1_defers_into_tcp(self):
+        wb_system, result = self.run(gpu_tcp_writeback=True, gpu_tcc_writeback=True)
+        assert result.ok
+        flushes = sum(
+            cu.stats["tcp_flush_writebacks"] for cu in wb_system.cus
+        )
+        assert flushes > 0

@@ -1,0 +1,215 @@
+"""Property-based protocol stress: random programs, full verification.
+
+Hypothesis generates random multi-threaded programs over a small pool of
+cache lines with deliberate false sharing (each 4-byte word is owned by
+exactly one agent, but words of the same line belong to different agents),
+plus contended atomic counters shared by everyone — then runs them on a
+randomly chosen directory policy with the coherence invariant monitor and
+value oracle attached, and checks exact final memory values.
+
+Single-writer-per-word + in-order cores make the expected final state
+deterministic even though the interleaving is not, so this catches lost
+updates, stale-data grants, bad merges of partial writes, and directory
+state corruption under arbitrary schedules.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SystemConfig, build_system
+from repro.coherence.policies import PRESETS
+from repro.mem.address import LINE_BYTES, WORDS_PER_LINE
+from repro.protocol.atomics import AtomicOp
+from repro.workloads import trace as ops
+from repro.workloads.base import (
+    AddressSpace,
+    KernelSpec,
+    Workload,
+    WorkloadBuild,
+    checker,
+    code_region,
+)
+
+POLICY_NAMES = sorted(PRESETS)
+
+#: per-agent op codes the strategy draws from
+OPCODES = ("store", "load_own", "load_other", "atomic", "think")
+
+
+class RandomProgramWorkload(Workload):
+    name = "random_stress"
+    description = "hypothesis-generated false-sharing stress program"
+    collaboration = "randomized"
+
+    def __init__(self, num_threads: int, num_lines: int,
+                 thread_ops: list[list[tuple]], gpu_words: int) -> None:
+        self.num_threads = num_threads
+        self.num_lines = num_lines
+        self.thread_ops = thread_ops
+        self.gpu_words = gpu_words
+
+    def build(self, ctx):
+        space = AddressSpace()
+        pool = space.lines(self.num_lines)
+        counter = space.lines(1)
+        code = code_region(space)
+
+        # word ownership: word slots round-robin across agents (threads +
+        # one GPU agent) => heavy false sharing inside every line
+        agents = self.num_threads + 1
+        owned: dict[int, list[int]] = {a: [] for a in range(agents)}
+        for line_index in range(self.num_lines):
+            for word in range(WORDS_PER_LINE):
+                agent = (line_index * WORDS_PER_LINE + word) % agents
+                owned[agent].append(pool + line_index * LINE_BYTES + 4 * word)
+
+        final_value: dict[int, int] = {}
+        counter_bumps = 0
+
+        def thread_program(tid: int, script: list[tuple]):
+            my_words = owned[tid]
+            last_written: dict[int, int] = {}
+
+            def program():
+                seq = 0
+                for opcode, index, arg in script:
+                    if not my_words:
+                        return
+                    addr = my_words[index % len(my_words)]
+                    if opcode == "store":
+                        seq += 1
+                        value = (tid + 1) * 100_000 + seq
+                        last_written[addr] = value
+                        yield ops.Store(addr, value)
+                    elif opcode == "load_own":
+                        value = yield ops.Load(addr)
+                        expected = last_written.get(addr, 0)
+                        assert value == expected, (
+                            f"t{tid} read own word {addr:#x}: {value} != {expected}"
+                        )
+                    elif opcode == "load_other":
+                        other = owned[(tid + 1) % self.num_threads]
+                        if other:
+                            yield ops.Load(other[index % len(other)])
+                    elif opcode == "atomic":
+                        yield ops.AtomicRMW(counter, AtomicOp.ADD, 1)
+                    else:  # think
+                        yield ops.Think(arg % 50 + 1)
+
+            return program
+
+        programs = []
+        for tid in range(self.num_threads):
+            script = self.thread_ops[tid]
+            counter_bumps += sum(1 for opcode, _i, _a in script if opcode == "atomic")
+            programs.append(thread_program(tid, script))
+
+        # replay each thread's script to compute deterministic finals
+        for tid in range(self.num_threads):
+            my_words = owned[tid]
+            if not my_words:
+                continue
+            seq = 0
+            for opcode, index, _arg in self.thread_ops[tid]:
+                if opcode == "store":
+                    seq += 1
+                    final_value[my_words[index % len(my_words)]] = (
+                        (tid + 1) * 100_000 + seq
+                    )
+
+        # one GPU wavefront writes its own words and verifies after release
+        gpu_agent = self.num_threads
+        gpu_targets = owned[gpu_agent][: self.gpu_words]
+        gpu_values = [9_000_000 + i for i in range(len(gpu_targets))]
+        for addr, value in zip(gpu_targets, gpu_values):
+            final_value[addr] = value
+
+        def gpu_wave():
+            if gpu_targets:
+                yield ops.VStore(gpu_targets, list(gpu_values))
+                yield ops.ReleaseFence()
+                observed = yield ops.VLoad(gpu_targets)
+                if not isinstance(observed, tuple):
+                    observed = (observed,)
+                assert list(observed) == gpu_values, (observed, gpu_values)
+            yield ops.AtomicRMW(counter, AtomicOp.ADD, 1, scope="slc")
+
+        kernel = KernelSpec("stress_gpu", [[gpu_wave]], code_addrs=code)
+        host_script = programs[0]
+
+        def host():
+            handle = yield ops.LaunchKernel(kernel)
+            yield from host_script()
+            yield ops.WaitKernel(handle)
+
+        final_value[counter] = counter_bumps + 1  # +1 for the GPU bump
+        return WorkloadBuild(
+            cpu_programs=[host] + programs[1:],
+            checks=[checker(final_value, "random-stress finals")],
+        )
+
+
+@st.composite
+def stress_case(draw):
+    policy = draw(st.sampled_from(POLICY_NAMES))
+    num_lines = draw(st.integers(min_value=1, max_value=4))
+    num_threads = 4
+    thread_ops = []
+    for _tid in range(num_threads):
+        length = draw(st.integers(min_value=0, max_value=25))
+        script = [
+            (
+                draw(st.sampled_from(OPCODES)),
+                draw(st.integers(min_value=0, max_value=63)),
+                draw(st.integers(min_value=0, max_value=1000)),
+            )
+            for _ in range(length)
+        ]
+        thread_ops.append(script)
+    gpu_words = draw(st.integers(min_value=0, max_value=6))
+    tiny_dir = draw(st.booleans())
+    tcc_writeback = draw(st.booleans())
+    tcp_writeback = draw(st.booleans())
+    banks = draw(st.sampled_from([1, 1, 2]))  # bias towards the paper's 1
+    tccs = draw(st.sampled_from([1, 1, 2]))
+    return policy, num_lines, thread_ops, gpu_words, tiny_dir, \
+        tcc_writeback, tcp_writeback, banks, tccs
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(stress_case())
+def test_random_programs_stay_coherent(case):
+    (policy_name, num_lines, thread_ops, gpu_words, tiny_dir,
+     tcc_writeback, tcp_writeback, banks, tccs) = case
+    policy = PRESETS[policy_name]
+    if tiny_dir and policy.is_precise:
+        policy = policy.named(dir_entries=16, dir_assoc=2)  # force dir evictions
+    if banks > 1:
+        policy = policy.named(dir_banks=banks)
+    system = build_system(SystemConfig.small(
+        policy=policy,
+        gpu_tcc_writeback=tcc_writeback,
+        gpu_tcp_writeback=tcp_writeback,
+        num_tccs=tccs,
+    ))
+    workload = RandomProgramWorkload(4, num_lines, thread_ops, gpu_words)
+    result = system.run_workload(workload, verify=True)
+    assert result.ok, (policy_name, result.check_errors[:5])
+
+
+@pytest.mark.parametrize("policy_name", POLICY_NAMES)
+def test_directed_false_sharing_all_policies(policy_name):
+    """A fixed dense false-sharing case on every policy (fast regression)."""
+    script = [("store", i, 0) for i in range(8)] + [("load_own", i, 0) for i in range(8)]
+    thread_ops = [list(script) for _ in range(4)]
+    system = build_system(SystemConfig.small(policy=PRESETS[policy_name]))
+    workload = RandomProgramWorkload(4, 2, thread_ops, gpu_words=4)
+    result = system.run_workload(workload, verify=True)
+    assert result.ok, result.check_errors[:5]

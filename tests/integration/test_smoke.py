@@ -1,0 +1,232 @@
+"""End-to-end smoke tests: build a small system and run simple programs
+under every directory flavour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.coherence.policies import PRESETS
+from repro.protocol.atomics import AtomicOp
+from repro.workloads.base import AddressSpace, KernelSpec, WorkloadBuild, checker
+from repro.workloads.trace import (
+    AcquireFence,
+    AtomicRMW,
+    LaunchKernel,
+    Load,
+    ReleaseFence,
+    SpinUntil,
+    Store,
+    Think,
+    VLoad,
+    VStore,
+    WaitKernel,
+)
+
+ALL_POLICIES = sorted(PRESETS)
+
+
+def run_build(policy_name: str, build: WorkloadBuild, **config_overrides):
+    system = build_system(SystemConfig.small(policy=PRESETS[policy_name], **config_overrides))
+    system.start_build(build)
+    system.sim.run()
+    return system, system.collect_result("smoke", build)
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICIES)
+class TestCpuOnly:
+    def test_single_thread_store_load(self, policy_name):
+        space = AddressSpace()
+        data = space.array(64)
+
+        def program():
+            for i, addr in enumerate(data):
+                yield Store(addr, i + 1)
+            total = 0
+            for addr in data:
+                total += (yield Load(addr))
+            assert total == sum(range(1, 65))
+
+        _system, result = run_build(policy_name, WorkloadBuild(cpu_programs=[program]))
+        assert result.ok
+        assert result.cycles > 0
+
+    def test_producer_consumer_flag(self, policy_name):
+        space = AddressSpace()
+        payload = space.lines(1)
+        flag = space.lines(1)
+
+        def producer():
+            yield Store(payload, 42)
+            yield Store(payload + 4, 43)
+            yield Store(flag, 1)
+
+        def consumer():
+            yield SpinUntil(flag, lambda v: v == 1)
+            a = yield Load(payload)
+            b = yield Load(payload + 4)
+            assert (a, b) == (42, 43)
+
+        build = WorkloadBuild(
+            cpu_programs=[producer, consumer],
+            checks=[checker({payload: 42, payload + 4: 43, flag: 1}, "pc")],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+    def test_cross_corepair_atomics(self, policy_name):
+        """4 threads over 2 CorePairs hammer one atomic counter."""
+        space = AddressSpace()
+        counter = space.lines(1)
+        increments = 25
+
+        def incrementer():
+            for _ in range(increments):
+                yield AtomicRMW(counter, AtomicOp.ADD, 1)
+                yield Think(5)
+
+        build = WorkloadBuild(
+            cpu_programs=[incrementer] * 4,
+            checks=[checker({counter: 4 * increments}, "atomic-count")],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+    def test_migratory_sharing(self, policy_name):
+        """A value bounces across all 4 cores through dirty-data forwarding."""
+        space = AddressSpace()
+        cell = space.lines(1)
+        token = space.lines(1)
+        rounds = 4
+
+        def stage(my_id, next_id, num_threads):
+            def program():
+                for round_index in range(rounds):
+                    turn = round_index * num_threads + my_id
+                    yield SpinUntil(token, lambda v, t=turn: v == t)
+                    value = yield Load(cell)
+                    yield Store(cell, value + 1)
+                    yield Store(token, turn + 1)
+
+            return program
+
+        programs = [stage(i, (i + 1) % 4, 4) for i in range(4)]
+        build = WorkloadBuild(
+            cpu_programs=programs,
+            checks=[checker({cell: rounds * 4}, "migratory")],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+
+@pytest.mark.parametrize("policy_name", ALL_POLICIES)
+class TestCpuGpu:
+    def test_kernel_roundtrip(self, policy_name):
+        """CPU writes inputs, GPU doubles them, CPU verifies."""
+        space = AddressSpace()
+        data = space.array(32)
+
+        def wavefront(lo, hi):
+            def program():
+                values = yield VLoad(data[lo:hi])
+                yield VStore(data[lo:hi], [2 * v for v in values])
+                yield ReleaseFence()
+
+            return program
+
+        kernel = KernelSpec(
+            name="double",
+            workgroups=[[wavefront(0, 16)], [wavefront(16, 32)]],
+            code_addrs=(space.lines(2),),
+        )
+
+        def host():
+            for i, addr in enumerate(data):
+                yield Store(addr, i + 1)
+            handle = yield LaunchKernel(kernel)
+            yield WaitKernel(handle)
+            for i, addr in enumerate(data):
+                value = yield Load(addr)
+                assert value == 2 * (i + 1), f"word {i}: {value}"
+
+        build = WorkloadBuild(
+            cpu_programs=[host],
+            checks=[checker({addr: 2 * (i + 1) for i, addr in enumerate(data)}, "double")],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+    def test_gpu_slc_atomic_flags(self, policy_name):
+        """Fine-grained CPU<->GPU sync through system-scope atomics."""
+        space = AddressSpace()
+        ready = space.lines(1)
+        done = space.lines(1)
+        value = space.lines(1)
+
+        def wave_program():
+            # GPU-side spin through SLC atomics (they bypass stale caches)
+            while True:
+                observed = yield AtomicRMW(ready, AtomicOp.ADD, 0, scope="slc")
+                if observed == 1:
+                    break
+            yield AcquireFence()
+            v = yield Load(value)
+            yield Store(done + 4, v + 1)
+            yield ReleaseFence()
+            yield AtomicRMW(done, AtomicOp.EXCH, 1, scope="slc")
+
+        kernel = KernelSpec("flags", [[wave_program]], code_addrs=(space.lines(1),))
+
+        def host():
+            handle = yield LaunchKernel(kernel)
+            yield Store(value, 99)
+            yield AtomicRMW(ready, AtomicOp.EXCH, 1)
+            yield SpinUntil(done, lambda v: v == 1)
+            result = yield Load(done + 4)
+            assert result == 100
+            yield WaitKernel(handle)
+
+        build = WorkloadBuild(cpu_programs=[host])
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+
+@pytest.mark.parametrize("policy_name", ["baseline", "llcWB+useL3OnWT", "sharers"])
+class TestDma:
+    def test_dma_write_then_cpu_read(self, policy_name):
+        from repro.workloads.trace import DmaTransfer
+
+        space = AddressSpace()
+        region = space.lines(4)
+
+        def host():
+            yield Think(5000)  # let DMA finish first (simple ordering)
+            for line in range(4):
+                v = yield Load(region + line * 64)
+                assert v == 7, f"line {line}: {v}"
+
+        build = WorkloadBuild(
+            cpu_programs=[host],
+            dma_transfers=[DmaTransfer("write", region, 4, value=7)],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+
+    def test_dma_read_of_cpu_dirty_data(self, policy_name):
+        from repro.workloads.trace import DmaTransfer
+
+        space = AddressSpace()
+        region = space.lines(2)
+
+        def host():
+            yield Store(region, 5)
+            yield Store(region + 64, 6)
+            yield Think(20000)
+
+        build = WorkloadBuild(
+            cpu_programs=[host],
+            dma_transfers=[DmaTransfer("read", region, 2)],
+        )
+        _system, result = run_build(policy_name, build)
+        assert result.ok
+        assert result.stats.get("dma0.line_reads", 0) == 2

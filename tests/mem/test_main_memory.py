@@ -1,0 +1,95 @@
+"""Tests for the DRAM model."""
+
+from __future__ import annotations
+
+from repro.mem.block import ZERO_LINE
+from repro.mem.main_memory import MainMemory
+
+
+def make_memory(sim, clock, latency=100, gap=10):
+    return MainMemory(sim, clock, latency_cycles=latency, gap_cycles=gap)
+
+
+class TestFunctionalStore:
+    def test_fresh_memory_reads_zero(self, sim, clock):
+        memory = make_memory(sim, clock)
+        assert memory.peek(0x1000) == ZERO_LINE
+
+    def test_poke_peek_roundtrip(self, sim, clock):
+        memory = make_memory(sim, clock)
+        data = ZERO_LINE.with_word(0, 7)
+        memory.poke(0x40, data)
+        assert memory.peek(0x40) == data
+
+    def test_peek_has_no_timing_side_effects(self, sim, clock):
+        memory = make_memory(sim, clock)
+        memory.peek(0)
+        assert memory.stats["reads"] == 0
+
+
+class TestTimedChannel:
+    def test_read_latency(self, sim, clock):
+        memory = make_memory(sim, clock, latency=100)
+        done = []
+        memory.read(0x40, lambda data: done.append(sim.now))
+        sim.run()
+        assert done == [100_000]
+
+    def test_read_returns_stored_data(self, sim, clock):
+        memory = make_memory(sim, clock)
+        data = ZERO_LINE.with_word(1, 11)
+        memory.poke(0x40, data)
+        results = []
+        memory.read(0x40, results.append)
+        sim.run()
+        assert results == [data]
+
+    def test_write_updates_store(self, sim, clock):
+        memory = make_memory(sim, clock)
+        data = ZERO_LINE.with_word(2, 5)
+        memory.write(0x80, data)
+        sim.run()
+        assert memory.peek(0x80) == data
+
+    def test_ordered_channel_gap_delays_second_access(self, sim, clock):
+        memory = make_memory(sim, clock, latency=100, gap=10)
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now))
+        memory.read(0x40, lambda _d: done.append(sim.now))
+        sim.run()
+        assert done == [100_000, 110_000]
+
+    def test_write_then_read_is_ordered(self, sim, clock):
+        """A read issued after a write to the same line sees the new data."""
+        memory = make_memory(sim, clock, latency=100, gap=10)
+        data = ZERO_LINE.with_word(0, 1)
+        results = []
+        memory.write(0x40, data)
+        memory.read(0x40, results.append)
+        sim.run()
+        assert results == [data]
+
+    def test_access_counters(self, sim, clock):
+        memory = make_memory(sim, clock)
+        memory.read(0, lambda _d: None)
+        memory.write(0x40, ZERO_LINE)
+        memory.write(0x80, ZERO_LINE)
+        sim.run()
+        assert memory.stats["reads"] == 1
+        assert memory.stats["writes"] == 2
+        assert memory.accesses == 3
+
+    def test_channel_wait_accumulates(self, sim, clock):
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        for i in range(3):
+            memory.read(i * 64, lambda _d: None)
+        sim.run()
+        # second waits 10 cycles, third waits 20
+        assert memory.stats["channel_wait_ticks"] == 30_000
+
+    def test_pending_work_reported_while_outstanding(self, sim, clock):
+        memory = make_memory(sim, clock, latency=100)
+        memory.read(0, lambda _d: None)
+        assert memory.pending_work() is not None
+        sim.run()
+        assert memory.pending_work() is None

@@ -1,0 +1,96 @@
+"""Tests for replacement policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mem.replacement import LRU, StateAwarePLRU, TreePLRU, policy_factory
+
+
+class TestLRU:
+    def test_initial_victim_is_way_zero(self):
+        assert LRU(4).victim() == 0
+
+    def test_victim_is_least_recently_touched(self):
+        policy = LRU(4)
+        for way in (0, 1, 2, 3, 0, 1):
+            policy.touch(way)
+        assert policy.victim() == 2
+
+    def test_single_way(self):
+        policy = LRU(1)
+        policy.touch(0)
+        assert policy.victim() == 0
+
+
+class TestTreePLRU:
+    def test_untouched_tree_victimizes_way_zero(self):
+        assert TreePLRU(4).victim() == 0
+
+    def test_touching_a_way_protects_it(self):
+        policy = TreePLRU(4)
+        policy.touch(0)
+        assert policy.victim() != 0
+
+    def test_round_robin_under_cyclic_touches(self):
+        """Touching every way in order leaves the first as PLRU victim."""
+        policy = TreePLRU(8)
+        for way in range(8):
+            policy.touch(way)
+        assert policy.victim() == 0
+
+    def test_two_way_behaves_like_lru(self):
+        policy = TreePLRU(2)
+        policy.touch(0)
+        assert policy.victim() == 1
+        policy.touch(1)
+        assert policy.victim() == 0
+
+    @pytest.mark.parametrize("ways", [2, 3, 4, 6, 8, 16, 32])
+    def test_victim_always_in_range(self, ways):
+        policy = TreePLRU(ways)
+        for way in range(ways):
+            policy.touch(way)
+            assert 0 <= policy.victim() < ways
+
+    @given(st.integers(min_value=1, max_value=16), st.data())
+    def test_victim_never_most_recent_when_multiple_ways(self, ways, data):
+        policy = TreePLRU(ways)
+        touches = data.draw(
+            st.lists(st.integers(min_value=0, max_value=ways - 1), max_size=50)
+        )
+        for way in touches:
+            policy.touch(way)
+        victim = policy.victim()
+        assert 0 <= victim < ways
+        if ways > 1 and touches:
+            assert victim != touches[-1]
+
+
+class TestStateAwarePLRU:
+    def test_prefers_cheapest_cost(self):
+        costs = {0: 5, 1: 1, 2: 5, 3: 5}
+        policy = StateAwarePLRU(4, cost_of=lambda way: costs[way])
+        assert policy.victim() == 1
+
+    def test_ties_broken_by_plru(self):
+        policy = StateAwarePLRU(4, cost_of=lambda way: 0)
+        policy.touch(0)
+        victim = policy.victim()
+        assert victim != 0
+
+    def test_no_cost_function_falls_back_to_plru(self):
+        policy = StateAwarePLRU(4)
+        assert policy.victim() == 0
+
+
+class TestPolicyFactory:
+    def test_known_names(self):
+        assert policy_factory("lru") is LRU
+        assert policy_factory("tree_plru") is TreePLRU
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            policy_factory("random")

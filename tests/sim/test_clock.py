@@ -1,0 +1,44 @@
+"""Tests for clock domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockDomain
+
+
+class TestClockDomain:
+    def test_one_ghz_period_is_1000_ticks(self):
+        clock = ClockDomain("cpu", 1e9)
+        assert clock.period_ticks == 1000
+
+    def test_paper_cpu_clock(self):
+        clock = ClockDomain("cpu", 3.5e9)
+        assert clock.period_ticks == 286  # 285.7 ps rounded
+
+    def test_paper_gpu_clock(self):
+        clock = ClockDomain("gpu", 1.1e9)
+        assert clock.period_ticks == 909
+
+    def test_cycles_to_ticks_scales(self):
+        clock = ClockDomain("x", 1e9)
+        assert clock.cycles_to_ticks(0) == 0
+        assert clock.cycles_to_ticks(1) == 1000
+        assert clock.cycles_to_ticks(2.5) == 2500
+
+    def test_roundtrip(self):
+        clock = ClockDomain("x", 2e9)
+        assert clock.ticks_to_cycles(clock.cycles_to_ticks(17)) == pytest.approx(17)
+
+    def test_negative_cycles_clamped_to_zero(self):
+        clock = ClockDomain("x", 1e9)
+        assert clock.cycles_to_ticks(-3) == 0
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ClockDomain("bad", 0)
+        with pytest.raises(ValueError):
+            ClockDomain("bad", -1e9)
+
+    def test_repr_mentions_frequency(self):
+        assert "3.5 GHz" in repr(ClockDomain("cpu", 3.5e9))

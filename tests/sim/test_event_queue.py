@@ -1,0 +1,149 @@
+"""Tests for the event queue and simulator run control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.event_queue import (
+    DeadlockError,
+    EventQueue,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestEventQueue:
+    def test_events_run_in_time_order(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(30, lambda: order.append("c"))
+        queue.schedule(10, lambda: order.append("a"))
+        queue.schedule(20, lambda: order.append("b"))
+        queue.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_tick_events_run_fifo(self):
+        queue = EventQueue()
+        order = []
+        for label in "abcd":
+            queue.schedule(5, lambda lbl=label: order.append(lbl))
+        queue.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_priority_breaks_same_tick_ties(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, lambda: order.append("low"), priority=1)
+        queue.schedule(5, lambda: order.append("high"), priority=0)
+        queue.run()
+        assert order == ["high", "low"]
+
+    def test_now_advances_with_events(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(7, lambda: seen.append(queue.now))
+        queue.schedule(42, lambda: seen.append(queue.now))
+        queue.run()
+        assert seen == [7, 42]
+        assert queue.now == 42
+
+    def test_scheduling_in_past_raises(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: queue.schedule(5, lambda: None))
+        with pytest.raises(SimulationError):
+            queue.run()
+
+    def test_schedule_after_is_relative(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(10, lambda: queue.schedule_after(5, lambda: seen.append(queue.now)))
+        queue.run()
+        assert seen == [15]
+
+    def test_run_until_stops_before_later_events(self):
+        queue = EventQueue()
+        ran = []
+        queue.schedule(10, lambda: ran.append(10))
+        queue.schedule(100, lambda: ran.append(100))
+        queue.run(until=50)
+        assert ran == [10]
+        assert queue.now == 50
+        assert len(queue) == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        queue = EventQueue()
+        order = []
+
+        def first():
+            order.append("first")
+            queue.schedule_after(1, lambda: order.append("second"))
+
+        queue.schedule(0, first)
+        queue.run()
+        assert order == ["first", "second"]
+
+    def test_executed_event_count(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.schedule(t, lambda: None)
+        queue.run()
+        assert queue.executed_events == 5
+
+
+class TestSimulator:
+    def test_run_returns_final_time(self):
+        simulator = Simulator()
+        simulator.events.schedule(123, lambda: None)
+        assert simulator.run() == 123
+
+    def test_deadlock_detection_via_pending_work(self):
+        simulator = Simulator()
+
+        class Stuck:
+            name = "stuck"
+
+            def pending_work(self):
+                return "waiting forever"
+
+        simulator.register(Stuck())
+        with pytest.raises(DeadlockError, match="stuck"):
+            simulator.run()
+
+    def test_quiesced_components_do_not_trip_deadlock(self):
+        simulator = Simulator()
+
+        class Quiet:
+            name = "quiet"
+
+            def pending_work(self):
+                return None
+
+        simulator.register(Quiet())
+        simulator.run()
+
+    def test_max_events_backstop(self):
+        simulator = Simulator()
+
+        def respawn():
+            simulator.events.schedule_after(1, respawn)
+
+        simulator.events.schedule(0, respawn)
+        with pytest.raises(SimulationError, match="max_events"):
+            simulator.run(max_events=100)
+
+    def test_finalizers_run_after_drain(self):
+        simulator = Simulator()
+        calls = []
+        simulator.add_finalizer(lambda: calls.append("done"))
+        simulator.events.schedule(5, lambda: calls.append("event"))
+        simulator.run()
+        assert calls == ["event", "done"]
+
+    def test_run_for_advances_bounded_time(self):
+        simulator = Simulator()
+        ran = []
+        simulator.events.schedule(10, lambda: ran.append(10))
+        simulator.events.schedule(1000, lambda: ran.append(1000))
+        simulator.run_for(100)
+        assert ran == [10]
+        assert simulator.now == 100

@@ -1,0 +1,133 @@
+"""Tests for the message fabric and controller serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import ClockDomain
+from repro.sim.component import Controller
+from repro.sim.event_queue import SimulationError, Simulator
+from repro.sim.network import Network
+
+
+class Sink(Controller):
+    """Records (arrival_handled_time, msg) pairs."""
+
+    def __init__(self, sim, name, clock, service_cycles=1.0):
+        super().__init__(sim, name, clock, service_cycles=service_cycles)
+        self.received = []
+
+    def handle_message(self, msg):
+        self.received.append((self.now, msg))
+
+
+class FakeMsg:
+    def __init__(self, src, dst, category="request", size_bytes=8):
+        self.src = src
+        self.dst = dst
+        self.category = category
+        self.size_bytes = size_bytes
+
+
+@pytest.fixture
+def fabric(sim, clock):
+    network = Network(sim, clock, default_latency_cycles=10)
+    a = Sink(sim, "a", clock)
+    b = Sink(sim, "b", clock)
+    network.attach(a, kind="l2")
+    network.attach(b, kind="dir")
+    return network, a, b
+
+
+class TestNetwork:
+    def test_message_arrives_after_latency(self, sim, fabric):
+        network, _a, b = fabric
+        network.send(FakeMsg("a", "b"))
+        sim.run()
+        assert len(b.received) == 1
+        handled_at, _ = b.received[0]
+        assert handled_at == 10_000  # 10 cycles at 1 GHz
+
+    def test_route_latency_table_overrides_default(self, sim, fabric):
+        network, _a, b = fabric
+        network.set_latency("l2", "dir", 3)
+        network.send(FakeMsg("a", "b"))
+        sim.run()
+        assert b.received[0][0] == 3_000
+
+    def test_latency_table_is_symmetric(self, sim, fabric):
+        network, a, _b = fabric
+        network.set_latency("l2", "dir", 3)
+        network.send(FakeMsg("b", "a"))
+        sim.run()
+        assert a.received[0][0] == 3_000
+
+    def test_unknown_destination_raises(self, fabric):
+        network, _a, _b = fabric
+        with pytest.raises(SimulationError, match="unknown network endpoint"):
+            network.send(FakeMsg("a", "nope"))
+
+    def test_unknown_source_raises(self, fabric):
+        network, _a, _b = fabric
+        with pytest.raises(SimulationError, match="unknown network source"):
+            network.send(FakeMsg("ghost", "b"))
+
+    def test_duplicate_endpoint_rejected(self, sim, clock, fabric):
+        network, _a, _b = fabric
+        dup = Sink(sim, "a", clock)
+        with pytest.raises(SimulationError, match="duplicate"):
+            network.attach(dup, kind="l2")
+
+    def test_traffic_accounting(self, sim, fabric):
+        network, _a, _b = fabric
+        network.send(FakeMsg("a", "b", category="probe", size_bytes=8))
+        network.send(FakeMsg("a", "b", category="request", size_bytes=72))
+        sim.run()
+        assert network.stats["messages"] == 2
+        assert network.stats["messages.probe"] == 1
+        assert network.stats["messages.request"] == 1
+        assert network.stats["bytes"] == 80
+        assert network.stats.child("routes")["l2->dir"] == 2
+
+    def test_endpoints_of_kind(self, fabric):
+        network, _a, _b = fabric
+        assert network.endpoints_of_kind("l2") == ["a"]
+        assert network.endpoints_of_kind("dir") == ["b"]
+        assert network.endpoints_of_kind("none") == []
+
+
+class TestControllerSerialization:
+    def test_back_to_back_messages_serialize(self, sim, clock):
+        network = Network(sim, clock, default_latency_cycles=0)
+        sink = Sink(sim, "sink", clock, service_cycles=5)
+        src = Sink(sim, "src", clock)
+        network.attach(sink, kind="dir")
+        network.attach(src, kind="l2")
+        for _ in range(3):
+            network.send(FakeMsg("src", "sink"))
+        sim.run()
+        times = [t for t, _ in sink.received]
+        assert times == [0, 5_000, 10_000]
+
+    def test_queue_wait_is_counted(self, sim, clock):
+        network = Network(sim, clock, default_latency_cycles=0)
+        sink = Sink(sim, "sink", clock, service_cycles=4)
+        src = Sink(sim, "src", clock)
+        network.attach(sink, kind="dir")
+        network.attach(src, kind="l2")
+        network.send(FakeMsg("src", "sink"))
+        network.send(FakeMsg("src", "sink"))
+        sim.run()
+        assert sink.stats["queue_wait_ticks"] == 4_000
+        assert sink.stats["messages_received"] == 2
+
+    def test_spaced_messages_do_not_queue(self, sim, clock):
+        network = Network(sim, clock, default_latency_cycles=0)
+        sink = Sink(sim, "sink", clock, service_cycles=2)
+        src = Sink(sim, "src", clock)
+        network.attach(sink, kind="dir")
+        network.attach(src, kind="l2")
+        network.send(FakeMsg("src", "sink"))
+        sim.events.schedule(50_000, lambda: network.send(FakeMsg("src", "sink")))
+        sim.run()
+        assert sink.stats["queue_wait_ticks"] == 0

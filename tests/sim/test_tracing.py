@@ -1,0 +1,76 @@
+"""Tests for the protocol trace tool."""
+
+from __future__ import annotations
+
+from repro import SystemConfig, build_system
+from repro.coherence.policies import PRESETS
+from repro.sim.tracing import ProtocolTrace
+
+from tests.coherence.harness import DirHarness
+from repro.protocol.types import MsgType
+
+
+ADDR = 0xB000
+
+
+class TestProtocolTrace:
+    def test_records_full_transaction_lifecycle(self):
+        h = DirHarness()
+        trace = ProtocolTrace().attach(h.directory)
+        h.l2s[0].request(MsgType.RDBLK, ADDR)
+        h.run()
+        events = [e.event for e in trace.events(addr=ADDR)]
+        assert events == ["request", "probe", "respond", "complete"]
+
+    def test_precise_directory_elides_probe_events_too(self):
+        h = DirHarness(policy=PRESETS["sharers"])
+        trace = ProtocolTrace().attach(h.directory)
+        h.l2s[0].request(MsgType.RDBLK, ADDR)
+        h.run()
+        events = [e.event for e in trace.events(addr=ADDR)]
+        assert events == ["request", "respond", "complete"]  # no probes
+
+    def test_address_filter(self):
+        h = DirHarness()
+        trace = ProtocolTrace().attach(h.directory)
+        h.l2s[0].request(MsgType.RDBLK, ADDR)
+        h.l2s[0].request(MsgType.RDBLK, ADDR + 0x40)
+        h.run()
+        assert all(e.addr == ADDR for e in trace.events(addr=ADDR))
+        assert len(trace.events(addr=ADDR)) < len(trace)
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        trace = ProtocolTrace(capacity=4)
+        for index in range(10):
+            trace.record(index, "dir", "request", 0x40, "")
+        assert len(trace) == 4
+        assert trace.dropped == 6
+        assert trace.events()[0].time == 6
+
+    def test_dump_renders_text(self):
+        trace = ProtocolTrace()
+        trace.record(100, "dir", "request", 0x40, "RdBlk from l2.0")
+        text = trace.dump()
+        assert "RdBlk from l2.0" in text
+        assert "0x000040" in text
+
+    def test_dump_empty(self):
+        assert "(empty)" in ProtocolTrace().dump()
+
+    def test_attach_system_covers_all_banks(self):
+        system = build_system(
+            SystemConfig.small(policy=PRESETS["sharers"].named(dir_banks=2))
+        )
+        from repro.workloads.micro import ReadersWriterSweep
+
+        trace = ProtocolTrace().attach_system(system)
+        result = system.run_workload(ReadersWriterSweep(lines=4, rounds=2))
+        assert result.ok
+        sources = {e.source for e in trace.events()}
+        assert sources == {"dir0", "dir1"}  # consecutive lines interleave
+
+    def test_clear(self):
+        trace = ProtocolTrace()
+        trace.record(1, "dir", "request", 0, "")
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tq" in out
+        assert "sharers" in out
+
+    def test_run_quick(self, capsys):
+        code = main(["run", "bs", "--policy", "baseline", "--config", "small",
+                     "--scale", "0.25", "--verify"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated cycles" in out
+        assert "PASSED" in out
+
+    def test_run_with_energy_stats_trace(self, capsys):
+        code = main(["run", "sc", "--config", "small", "--scale", "0.25",
+                     "--policy", "sharers", "--energy", "--stats", "--trace", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "energy breakdown" in out
+        assert "statistics" in out
+        assert "protocol trace" in out
+
+    def test_compare(self, capsys):
+        code = main(["compare", "tq", "--config", "small", "--scale", "0.25",
+                     "--policies", "baseline", "owner"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "owner" in out
+        assert "speedup %" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonexistent"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,133 @@
+"""Tests for system configuration presets and the builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, build_system
+from repro.coherence.directory import DirectoryController
+from repro.coherence.policies import PRESETS, DirectoryKind, DirectoryPolicy
+from repro.coherence.precise import PreciseDirectory
+from repro.system.config import KIB, MIB
+
+
+class TestRyzenPreset:
+    def test_table3_structure(self):
+        config = SystemConfig.ryzen_2200g()
+        assert config.num_corepairs == 4
+        assert config.num_cpu_cores == 8
+        assert config.num_cus == 8
+        assert config.cpu_freq_ghz == 3.5
+        assert config.gpu_freq_ghz == 1.1
+
+    def test_table2_geometry(self):
+        config = SystemConfig.ryzen_2200g()
+        assert (config.llc.size_bytes, config.llc.assoc) == (16 * MIB, 16)
+        assert (config.l2.size_bytes, config.l2.assoc) == (2 * MIB, 8)
+        assert (config.l1d.size_bytes, config.l1d.assoc) == (64 * KIB, 2)
+        assert (config.l1i.size_bytes, config.l1i.assoc) == (32 * KIB, 2)
+        assert (config.tcc.size_bytes, config.tcc.assoc) == (256 * KIB, 16)
+        assert (config.tcp.size_bytes, config.tcp.assoc) == (16 * KIB, 16)
+        assert (config.sqc.size_bytes, config.sqc.assoc) == (32 * KIB, 8)
+        assert config.policy.dir_entries == 262_144
+        assert config.policy.dir_assoc == 32
+
+    def test_policy_override(self):
+        config = SystemConfig.ryzen_2200g(policy=PRESETS["sharers"])
+        assert config.policy.kind is DirectoryKind.SHARERS
+
+
+class TestScaledPresets:
+    def test_benchmark_preserves_structure(self):
+        config = SystemConfig.benchmark()
+        assert config.num_corepairs == 4
+        assert config.num_cus == 8
+        # ratios: LLC = 8x L2 = 8x TCC
+        assert config.llc.size_bytes == 8 * config.l2.size_bytes
+        assert config.l2.size_bytes == config.tcc.size_bytes
+
+    def test_benchmark_respects_custom_dir_geometry(self):
+        policy = PRESETS["sharers"].named(dir_entries=64, dir_assoc=4)
+        config = SystemConfig.benchmark(policy=policy)
+        assert config.policy.dir_entries == 64
+        assert config.policy.dir_assoc == 4
+
+    def test_benchmark_scales_default_dir_geometry(self):
+        config = SystemConfig.benchmark(policy=PRESETS["sharers"])
+        assert config.policy.dir_entries == 1024
+
+    def test_small_is_small(self):
+        config = SystemConfig.small()
+        assert config.num_corepairs == 2
+        assert config.l2.size_bytes <= 8 * KIB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_corepairs=0).validate()
+        with pytest.raises(ValueError):
+            SystemConfig(num_cus=0).validate()
+
+
+class TestBuilder:
+    def test_builds_every_component(self):
+        system = build_system(SystemConfig.small())
+        assert len(system.corepairs) == 2
+        assert len(system.cores) == 4
+        assert len(system.cus) == 2
+        assert system.tcc is not None
+        assert system.dma is not None
+        assert isinstance(system.directory, DirectoryController)
+        assert not isinstance(system.directory, PreciseDirectory)
+
+    def test_precise_policy_builds_precise_directory(self):
+        system = build_system(SystemConfig.small(policy=PRESETS["owner"]))
+        assert isinstance(system.directory, PreciseDirectory)
+
+    def test_llc_mode_follows_policy(self):
+        system = build_system(SystemConfig.small(policy=PRESETS["llcWB"]))
+        assert system.llc.writeback
+        system = build_system(SystemConfig.small())
+        assert not system.llc.writeback
+
+    def test_network_knows_all_endpoints(self):
+        system = build_system(SystemConfig.small())
+        assert len(system.network.endpoints_of_kind("l2")) == 2
+        assert system.network.endpoints_of_kind("tcc") == ["tcc0"]
+        assert system.network.endpoints_of_kind("dir") == ["dir"]
+        assert system.network.endpoints_of_kind("dma") == ["dma0"]
+
+    def test_cores_are_wired_to_their_corepairs(self):
+        system = build_system(SystemConfig.small())
+        assert system.cores[0].corepair is system.corepairs[0]
+        assert system.cores[1].corepair is system.corepairs[0]
+        assert system.cores[2].corepair is system.corepairs[1]
+        assert system.cores[0].slot == 0
+        assert system.cores[1].slot == 1
+
+    def test_clock_domains(self):
+        system = build_system(SystemConfig.ryzen_2200g())
+        assert system.clocks["cpu"].period_ticks == 286
+        assert system.clocks["gpu"].period_ticks == 909
+
+    def test_coherent_word_reads_through_hierarchy(self):
+        from repro.mem.block import ZERO_LINE
+        from repro.protocol.types import MoesiState
+
+        system = build_system(SystemConfig.small())
+        addr = 0x4000
+        system.memory.poke(addr, ZERO_LINE.with_word(0, 1))
+        assert system.coherent_word(addr) == 1
+        system.llc.write_victim(addr, ZERO_LINE.with_word(0, 2), dirty=False)
+        assert system.coherent_word(addr) == 2
+        system.corepairs[0].l2.install(
+            addr, state=MoesiState.M, data=ZERO_LINE.with_word(0, 3)
+        )
+        assert system.coherent_word(addr) == 3
+
+    def test_too_many_cpu_programs_rejected(self):
+        from repro.workloads.base import WorkloadBuild
+
+        system = build_system(SystemConfig.small())
+        build = WorkloadBuild(cpu_programs=[lambda: iter(())] * 10)
+        with pytest.raises(ValueError, match="CPU threads"):
+            system.start_build(build)

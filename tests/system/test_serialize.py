@@ -1,0 +1,91 @@
+"""Tests for configuration (de)serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import SystemConfig, build_system, get_workload
+from repro.coherence.policies import PRESETS, DirectoryKind
+from repro.system.serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    policy_from_dict,
+    policy_to_dict,
+    save_config,
+)
+
+
+class TestRoundTrip:
+    def test_policy_round_trip(self):
+        policy = PRESETS["sharers"].named(
+            sharer_pointer_limit=2,
+            dir_banks=2,
+            readonly_regions=((0x1000, 0x2000),),
+        )
+        assert policy_from_dict(policy_to_dict(policy)) == policy
+
+    def test_every_preset_round_trips(self):
+        for name, policy in PRESETS.items():
+            assert policy_from_dict(policy_to_dict(policy)) == policy, name
+
+    def test_config_round_trip(self):
+        config = SystemConfig.benchmark(policy=PRESETS["owner"], num_tccs=2)
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+
+    def test_file_round_trip(self, tmp_path):
+        config = SystemConfig.small(policy=PRESETS["llcWB"])
+        path = tmp_path / "config.json"
+        save_config(config, str(path))
+        restored = load_config(str(path))
+        assert restored == config
+
+    def test_restored_config_runs_identically(self, tmp_path):
+        """Replay fidelity: the restored config reproduces the exact run."""
+        config = SystemConfig.small(policy=PRESETS["sharers"])
+        path = tmp_path / "config.json"
+        save_config(config, str(path))
+        first = build_system(config).run_workload(get_workload("sc"), scale=0.25)
+        second = build_system(load_config(str(path))).run_workload(
+            get_workload("sc"), scale=0.25
+        )
+        assert (first.cycles, first.dir_probes, first.mem_accesses) == (
+            second.cycles, second.dir_probes, second.mem_accesses
+        )
+
+
+class TestErrors:
+    def test_unknown_policy_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy fields"):
+            policy_from_dict({"kind": "stateless", "bogus": 1})
+
+    def test_unknown_config_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown config fields"):
+            config_from_dict({"bogus": 1})
+
+    def test_invalid_values_caught_by_validate(self):
+        data = config_to_dict(SystemConfig.small())
+        data["num_corepairs"] = 0
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+
+class TestProperties:
+    @given(
+        kind=st.sampled_from(list(DirectoryKind)),
+        banks=st.integers(min_value=1, max_value=4),
+        entries=st.integers(min_value=1, max_value=10_000),
+        early=st.booleans(),
+        wb=st.booleans(),
+    )
+    def test_random_policies_round_trip(self, kind, banks, entries, early, wb):
+        from repro.coherence.policies import DirectoryPolicy
+
+        policy = DirectoryPolicy(
+            kind=kind, dir_banks=banks, dir_entries=entries,
+            early_dirty_response=early, llc_writeback=wb,
+        )
+        assert policy_from_dict(policy_to_dict(policy)) == policy

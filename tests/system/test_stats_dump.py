@@ -1,0 +1,49 @@
+"""Tests for the stats dump facility and result aggregation."""
+
+from __future__ import annotations
+
+from repro import SystemConfig, build_system, get_workload
+from repro.coherence.policies import PRESETS
+
+
+def run_system():
+    system = build_system(SystemConfig.small())
+    result = system.run_workload(get_workload("bs"), scale=0.25)
+    assert result.ok
+    return system, result
+
+
+class TestStatsDump:
+    def test_dump_contains_key_counters(self):
+        system, _result = run_system()
+        text = system.dump_stats()
+        assert "dir.requests" in text
+        assert "memory.reads" in text
+        assert "network.messages" in text
+        assert text.startswith("# repro stats dump @ tick")
+
+    def test_dump_writes_file(self, tmp_path):
+        system, _result = run_system()
+        target = tmp_path / "stats.txt"
+        text = system.dump_stats(str(target))
+        assert target.read_text() == text
+
+    def test_result_stats_cover_all_components(self):
+        _system, result = run_system()
+        prefixes = {key.split(".")[0] for key in result.stats}
+        # (idle components like the unused DMA engine have no counters yet)
+        assert {"dir", "memory", "network", "llc", "tcc0"} <= prefixes
+        assert any(key.startswith("l2.") for key in result.stats)
+        assert any(key.startswith("cpu") for key in result.stats)
+        assert any(key.startswith("cu") for key in result.stats)
+
+    def test_banked_dump_separates_banks(self):
+        system = build_system(
+            SystemConfig.small(policy=PRESETS["sharers"].named(dir_banks=2))
+        )
+        result = system.run_workload(get_workload("bs"), scale=0.25)
+        assert result.ok
+        text = system.dump_stats()
+        assert "dir0.requests" in text
+        assert "dir1.requests" in text
+        assert "bank1.llc" in text

@@ -1,0 +1,159 @@
+"""Unit tests for the value oracle."""
+
+from __future__ import annotations
+
+from repro.protocol.atomics import AtomicOp
+from repro.verify.oracle import ValueOracle
+from repro.workloads.base import KernelSpec, WorkloadBuild
+from repro.workloads.trace import (
+    AtomicRMW,
+    DmaTransfer,
+    LaunchKernel,
+    Load,
+    SpinUntil,
+    Store,
+    VLoad,
+    VStore,
+)
+
+
+def drive(program, feed):
+    """Run a wrapped generator, answering each op from ``feed(op)``."""
+    result = None
+    ops_seen = []
+    while True:
+        try:
+            op = program.send(result)
+        except StopIteration:
+            return ops_seen
+        ops_seen.append(op)
+        result = feed(op)
+
+
+class TestOracle:
+    def test_load_of_written_value_passes(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield Store(0x40, 5)
+            yield Load(0x40)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: 5 if isinstance(op, Load) else None)
+        assert oracle.errors == []
+        assert oracle.loads_checked == 1
+
+    def test_load_of_never_written_value_flagged(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield Load(0x40)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: 123)
+        assert len(oracle.errors) == 1
+        assert "never written" in oracle.errors[0]
+
+    def test_zero_is_always_legal(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield Load(0x40)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: 0)
+        assert oracle.errors == []
+
+    def test_cross_thread_writes_are_legal(self):
+        oracle = ValueOracle()
+
+        def writer():
+            yield Store(0x40, 7)
+
+        def reader():
+            yield Load(0x40)
+
+        drive(oracle.wrap_factory(writer, "w")(), lambda op: None)
+        drive(oracle.wrap_factory(reader, "r")(), lambda op: 7)
+        assert oracle.errors == []
+
+    def test_atomic_old_value_checked_and_result_recorded(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield AtomicRMW(0x40, AtomicOp.ADD, 5)
+            yield Load(0x40)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+
+        def feed(op):
+            if isinstance(op, AtomicRMW):
+                return 0
+            return 5  # 0 + 5, the recorded atomic result
+
+        drive(wrapped, feed)
+        assert oracle.errors == []
+
+    def test_vload_vstore(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield VStore([0x40, 0x44], [1, 2])
+            yield VLoad([0x40, 0x44])
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: (1, 2) if isinstance(op, VLoad) else None)
+        assert oracle.errors == []
+
+    def test_spin_result_checked(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield SpinUntil(0x40, lambda v: v == 9)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: 9)
+        assert len(oracle.errors) == 1  # 9 never written
+
+    def test_kernel_programs_get_wrapped(self):
+        oracle = ValueOracle()
+
+        def wave():
+            yield Load(0x80)
+
+        kernel = KernelSpec("k", [[wave]])
+
+        def host():
+            yield LaunchKernel(kernel)
+
+        wrapped = oracle.wrap_factory(host, "cpu0")()
+        launched = []
+        drive(wrapped, lambda op: launched.append(op) or "handle")
+        wrapped_kernel = launched[0].kernel
+        assert wrapped_kernel is not kernel
+        wave_program = wrapped_kernel.workgroups[0][0]()
+        drive(wave_program, lambda op: 55)
+        assert len(oracle.errors) == 1  # 55 never written, caught inside GPU code
+
+    def test_wrap_build_seeds_initial_memory_and_dma(self):
+        from repro.mem.block import ZERO_LINE
+
+        oracle = ValueOracle()
+        build = WorkloadBuild(
+            cpu_programs=[],
+            initial_memory={0x40: ZERO_LINE.with_word(2, 77)},
+            dma_transfers=[DmaTransfer("write", 0x80, 1, value=3)],
+        )
+        oracle.wrap_build(build)
+        assert 77 in oracle._legal_set(0x40 + 8)
+        assert 3 in oracle._legal_set(0x80)
+
+    def test_non_integer_result_flagged(self):
+        oracle = ValueOracle()
+
+        def program():
+            yield Load(0x40)
+
+        wrapped = oracle.wrap_factory(program, "t0")()
+        drive(wrapped, lambda op: None)
+        assert len(oracle.errors) == 1

@@ -1,0 +1,113 @@
+"""Behavioural signatures: each benchmark must exercise the protocol
+mechanisms its CHAI original is known for.
+
+These are the tests that keep the workloads honest as *coherence*
+benchmarks — if a refactor accidentally removed tq's fine-grained
+handoffs or hsti's cross-device atomics, the figures would silently lose
+their meaning.  Each test runs the workload once on the baseline system
+and asserts the signature counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SystemConfig, build_system, get_workload
+from repro.coherence.policies import PRESETS
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """One baseline run per workload, shared by all signature tests."""
+    cache = {}
+
+    def run(name: str):
+        if name not in cache:
+            system = build_system(SystemConfig.benchmark(policy=PRESETS["baseline"]))
+            result = system.run_workload(get_workload(name), verify=True)
+            assert result.ok, (name, result.check_errors[:3])
+            cache[name] = (system, result)
+        return cache[name]
+
+    return run
+
+
+def stat(result, suffix: str) -> int:
+    return int(sum(v for k, v in result.stats.items() if k.endswith(suffix)))
+
+
+class TestSignatures:
+    def test_bs_is_read_sharing_dominated(self, runs):
+        _system, result = runs("bs")
+        # no atomics at all; writes are disjoint
+        assert stat(result, ".slc_atomics") == 0
+        assert stat(result, ".ops.atomic") == 0
+
+    def test_cedd_pipelines_dirty_data_across_devices(self, runs):
+        _system, result = runs("cedd")
+        # CPU-produced buffers consumed by the GPU: downgrades with dirty
+        # forwarding must occur, plus SLC flag atomics
+        assert result.stats.get("dir.probes_sent.down", 0) > 0
+        assert stat(result, ".slc_atomics") > 0
+        # four stages x frames: GPU both loads and stores
+        assert stat(result, ".vloads") > 0 and stat(result, ".vstores") > 0
+
+    def test_pad_has_cross_device_flag_chain(self, runs):
+        _system, result = runs("pad")
+        assert stat(result, ".slc_atomics") > 0      # GPU flag publishes
+        assert stat(result, ".spin_retries") > 0     # CPU waits on GPU rows
+
+    def test_sc_contends_on_shared_counters(self, runs):
+        _system, result = runs("sc")
+        # both CPU atomics and GPU SLC atomics hit the same two counters
+        assert stat(result, ".ops.atomic") > 0
+        assert stat(result, ".slc_atomics") > 0
+
+    def test_tq_is_fine_grained_task_parallel(self, runs):
+        system, result = runs("tq")
+        # every task dequeue is a GPU system-scope atomic...
+        assert stat(result, ".slc_atomics") >= 96
+        # ...and every payload is CPU-written, GPU-read (dirty forwarding)
+        assert result.stats.get("dir.probes_sent.down", 0) > 0
+        assert system.tcc.stats["misses"] > 0
+
+    def test_hsti_hits_shared_bins_from_both_devices(self, runs):
+        _system, result = runs("hsti")
+        assert stat(result, ".ops.atomic") > 0       # CPU bin increments
+        assert stat(result, ".slc_atomics") > 0      # GPU bin increments
+
+    def test_hsto_reads_whole_input_everywhere(self, runs):
+        _system, result = runs("hsto")
+        # 8 CPU threads x 384 loads each, plus the GPU's sweep
+        assert stat(result, ".ops.load") >= 8 * 384
+        assert stat(result, ".vloads") > 0
+        # but almost no atomics (disjoint bins)
+        assert stat(result, ".ops.atomic") == 0
+
+    def test_trns_migrates_lines_between_devices(self, runs):
+        _system, result = runs("trns")
+        # in-place cycles: both devices store into the same shared array
+        assert stat(result, ".ops.store") > 0
+        assert stat(result, ".vstores") + stat(result, ".writes") > 0
+        assert stat(result, ".slc_atomics") > 0      # cycle claiming
+
+    def test_rscd_accumulates_consensus_atomically(self, runs):
+        _system, result = runs("rscd")
+        assert stat(result, ".ops.atomic") > 0
+        assert stat(result, ".slc_atomics") > 0
+
+    def test_rsct_hands_models_cpu_to_gpu(self, runs):
+        system, result = runs("rsct")
+        assert stat(result, ".slc_atomics") > 0      # dequeues + flag spins
+        assert system.tcc.stats["misses"] > 0        # GPU streams the points
+
+    def test_eviction_traffic_exists_suite_wide(self, runs):
+        """The scaled benchmark config must actually exercise victims
+        (the §III-B/C prerequisites) on at least some benchmarks."""
+        clean = dirty = 0
+        for name in ("cedd", "hsto", "trns", "tq"):
+            _system, result = runs(name)
+            clean += stat(result, ".victims.clean")
+            dirty += stat(result, ".victims.dirty")
+        assert clean > 0
+        assert dirty > 0
