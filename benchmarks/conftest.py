@@ -1,24 +1,56 @@
 """Shared fixtures for the figure/table regeneration benchmarks.
 
-Runs are cached in a session-scoped :class:`ExperimentMatrix` so overlapping
-bars (e.g. the baselines shared by Figures 4-7) execute once.  Every
-regenerated figure is printed and also written to ``benchmark_results/``.
+Runs execute through the parallel runner (:mod:`repro.runner`): a
+session-scoped :class:`ExperimentMatrix` fans cells out over a process
+pool and persists every result in ``.repro_cache/`` at the repo root, so
+a warm re-run of ``pytest benchmarks/`` performs zero simulations.
+
+Knobs (also see ``--jobs`` / ``--fresh-cache`` pytest options):
+
+- ``REPRO_JOBS=N`` — worker processes (default: ``os.cpu_count()``).
+- ``REPRO_NO_CACHE=1`` — disable the persistent cache for this session.
+
+Every regenerated figure is printed and also written to
+``benchmark_results/``.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.analysis.experiments import ExperimentMatrix
+from repro.runner import ResultCache, default_progress
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmark_results"
+CACHE_DIR = REPO_ROOT / ".repro_cache"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs", type=int, default=None,
+        help="worker processes for simulation cells (default: os.cpu_count())",
+    )
+    parser.addoption(
+        "--fresh-cache", action="store_true",
+        help="clear the persistent result cache before running",
+    )
 
 
 @pytest.fixture(scope="session")
-def matrix() -> ExperimentMatrix:
-    return ExperimentMatrix(scale=1.0)
+def matrix(request: pytest.FixtureRequest) -> ExperimentMatrix:
+    jobs = request.config.getoption("--jobs")
+    if jobs is None and os.environ.get("REPRO_JOBS"):
+        jobs = int(os.environ["REPRO_JOBS"])
+    cache = ResultCache(CACHE_DIR, enabled=not os.environ.get("REPRO_NO_CACHE"))
+    if request.config.getoption("--fresh-cache"):
+        cache.clear()
+    return ExperimentMatrix(
+        scale=1.0, jobs=jobs, cache=cache, progress=default_progress
+    )
 
 
 @pytest.fixture(scope="session")

@@ -4,7 +4,11 @@
 Prints Tables II/III and Figures 4-7 (as text tables plus ASCII bar
 charts), with the paper's reported averages alongside the measured ones.
 
-Run:  python examples/reproduce_paper.py           (full suite, ~1 min)
+Simulation cells fan out over a process pool (``--jobs``) and results
+persist in ``.repro_cache/``, so a second invocation reproduces every
+figure without simulating anything (``--no-cache`` opts out).
+
+Run:  python examples/reproduce_paper.py           (full suite, ~1 min cold)
       python examples/reproduce_paper.py --scale 0.5   (faster)
 """
 
@@ -21,6 +25,7 @@ from repro.analysis.experiments import (
     table3_text,
 )
 from repro.analysis.report import bar_chart
+from repro.runner import ResultCache, default_progress
 
 
 def main() -> None:
@@ -29,9 +34,19 @@ def main() -> None:
                         help="workload size multiplier (default 1.0)")
     parser.add_argument("--verify", action="store_true",
                         help="run output verification + invariant monitor")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: os.cpu_count())")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent result cache")
     args = parser.parse_args()
 
-    matrix = ExperimentMatrix(scale=args.scale, verify=args.verify)
+    matrix = ExperimentMatrix(
+        scale=args.scale,
+        verify=args.verify,
+        jobs=args.jobs,
+        cache=None if args.no_cache else ResultCache(),
+        progress=default_progress,
+    )
 
     print(table2_text())
     print()

@@ -26,9 +26,10 @@ from typing import Callable, Sequence
 
 from repro.analysis.report import format_table
 from repro.coherence.policies import PRESETS, DirectoryPolicy
+from repro.runner import Cell, ResultCache, run_cells
 from repro.system.apu import SimulationResult
-from repro.system.builder import build_system
 from repro.system.config import SystemConfig
+from repro.workloads.base import Workload
 from repro.workloads.registry import available_workloads, get_workload
 
 #: the five most collaborative benchmarks, used for Figures 6 and 7.  The
@@ -40,28 +41,82 @@ FIGURE6_BENCHMARKS = ["cedd", "sc", "tq", "trns", "hsto"]
 
 @dataclass
 class ExperimentMatrix:
-    """Runs and caches (workload, policy) cells on one configuration."""
+    """Runs and caches (workload, policy) cells on one configuration.
+
+    Cells execute through :mod:`repro.runner`: with ``jobs > 1`` they fan
+    out over a process pool, and with a :class:`ResultCache` attached they
+    are served from the persistent on-disk cache (bit-identical to a
+    serial in-process run — the simulator is deterministic and results
+    round-trip exactly).  The in-memory ``_cache`` keeps object identity
+    within one matrix, as before.
+    """
 
     config_factory: Callable[..., SystemConfig] = SystemConfig.benchmark
     scale: float = 1.0
     verify: bool = False
+    #: worker processes for cell fan-out; None → ``os.cpu_count()``.
+    #: ``jobs=1`` runs every cell serially in-process.
+    jobs: int | None = None
+    #: persistent on-disk cache; None → in-memory caching only.
+    cache: ResultCache | None = None
+    #: optional sink for structured runner progress lines.
+    progress: Callable[[str], None] | None = None
+    #: optional per-cell wall-clock timeout (enforced in pool workers).
+    timeout_s: float | None = None
     _cache: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
 
-    def run(self, workload: str, policy: str) -> SimulationResult:
-        key = (workload, policy)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        system = build_system(self.config_factory(policy=PRESETS[policy]))
-        result = system.run_workload(
-            get_workload(workload), scale=self.scale, verify=self.verify
+    def _cell(self, workload: str | Workload, policy: DirectoryPolicy,
+              label: str) -> Cell:
+        # Resolve registered names eagerly so typos raise KeyError here,
+        # not inside a worker process.
+        if isinstance(workload, str):
+            get_workload(workload)
+        return Cell(
+            workload=workload,
+            config=self.config_factory(policy=policy),
+            scale=self.scale,
+            verify=self.verify,
+            label=label,
         )
-        if not result.ok:
-            raise RuntimeError(
-                f"{workload}/{policy} failed verification: {result.check_errors[:3]}"
-            )
-        self._cache[key] = result
-        return result
+
+    def _execute(self, items: Sequence[tuple[tuple[str, str], Cell]]) -> None:
+        """Run not-yet-cached cells (possibly in parallel) into ``_cache``."""
+        todo = [(key, cell) for key, cell in items if key not in self._cache]
+        if not todo:
+            return
+        results = run_cells(
+            [cell for _key, cell in todo],
+            jobs=self.jobs if len(todo) > 1 else 1,
+            cache=self.cache,
+            timeout_s=self.timeout_s,
+            progress=self.progress,
+        )
+        for (key, _cell), result in zip(todo, results):
+            self._cache[key] = result
+
+    def run_batch(self, pairs: Sequence[tuple[str, str]]) -> dict[tuple[str, str], SimulationResult]:
+        """Run every (workload, policy-preset) pair, fanning misses out in
+        parallel, and return the results keyed by pair."""
+        unique = list(dict.fromkeys(pairs))
+        self._execute([
+            ((workload, policy),
+             self._cell(workload, PRESETS[policy], f"{workload}/{policy}"))
+            for workload, policy in unique
+        ])
+        out: dict[tuple[str, str], SimulationResult] = {}
+        for pair in unique:
+            result = self._cache[pair]
+            if not result.ok:
+                workload, policy = pair
+                raise RuntimeError(
+                    f"{workload}/{policy} failed verification: "
+                    f"{result.check_errors[:3]}"
+                )
+            out[pair] = result
+        return out
+
+    def run(self, workload: str, policy: str) -> SimulationResult:
+        return self.run_batch([(workload, policy)])[(workload, policy)]
 
     def run_policy_object(self, workload, policy: DirectoryPolicy, tag: str) -> SimulationResult:
         """Run with an ad-hoc policy (for ablations) under a cache tag.
@@ -71,14 +126,8 @@ class ExperimentMatrix:
         """
         name = workload if isinstance(workload, str) else workload.name
         key = (name, tag)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        instance = get_workload(workload) if isinstance(workload, str) else workload
-        system = build_system(self.config_factory(policy=policy))
-        result = system.run_workload(instance, scale=self.scale, verify=self.verify)
-        self._cache[key] = result
-        return result
+        self._execute([(key, self._cell(workload, policy, f"{name}/{tag}"))])
+        return self._cache[key]
 
 
 @dataclass
@@ -136,6 +185,11 @@ def run_figure4(matrix: ExperimentMatrix | None = None,
     matrix = matrix or ExperimentMatrix()
     benchmarks = list(benchmarks or available_workloads())
     series: dict[str, list[float]] = {p: [] for p in FIG4_POLICIES}
+    matrix.run_batch([
+        (benchmark, policy)
+        for benchmark in benchmarks
+        for policy in ["baseline"] + FIG4_POLICIES
+    ])
     for benchmark in benchmarks:
         base = matrix.run(benchmark, "baseline")
         for policy in FIG4_POLICIES:
@@ -161,6 +215,11 @@ def run_figure5(matrix: ExperimentMatrix | None = None,
     matrix = matrix or ExperimentMatrix()
     benchmarks = list(benchmarks or available_workloads())
     series: dict[str, list[float]] = {p: [] for p in FIG5_POLICIES}
+    matrix.run_batch([
+        (benchmark, policy)
+        for benchmark in benchmarks
+        for policy in FIG5_POLICIES
+    ])
     for benchmark in benchmarks:
         for policy in FIG5_POLICIES:
             series[policy].append(float(matrix.run(benchmark, policy).mem_accesses))
@@ -196,6 +255,11 @@ def run_figure6(matrix: ExperimentMatrix | None = None,
     matrix = matrix or ExperimentMatrix()
     benchmarks = list(benchmarks or FIGURE6_BENCHMARKS)
     series: dict[str, list[float]] = {p: [] for p in TRACKING_POLICIES}
+    matrix.run_batch([
+        (benchmark, policy)
+        for benchmark in benchmarks
+        for policy in ["baseline"] + TRACKING_POLICIES
+    ])
     for benchmark in benchmarks:
         base = matrix.run(benchmark, "baseline")
         for policy in TRACKING_POLICIES:
@@ -216,6 +280,11 @@ def run_figure7(matrix: ExperimentMatrix | None = None,
     matrix = matrix or ExperimentMatrix()
     benchmarks = list(benchmarks or FIGURE6_BENCHMARKS)
     series: dict[str, list[float]] = {p: [] for p in TRACKING_POLICIES}
+    matrix.run_batch([
+        (benchmark, policy)
+        for benchmark in benchmarks
+        for policy in ["baseline"] + TRACKING_POLICIES
+    ])
     for benchmark in benchmarks:
         base = matrix.run(benchmark, "baseline")
         for policy in TRACKING_POLICIES:

@@ -18,8 +18,8 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.coherence.policies import PRESETS, DirectoryPolicy
+from repro.runner import Cell, ResultCache, run_cells
 from repro.system.apu import SimulationResult
-from repro.system.builder import build_system
 from repro.system.config import SystemConfig
 from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
@@ -73,12 +73,19 @@ def sweep(
     config_factory=SystemConfig.benchmark,
     scale: float = 1.0,
     verify: bool = False,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    progress=None,
 ) -> SweepResult:
     """Run ``workload`` over ``axis`` x ``policies``.
 
     ``axis`` is ``(field_name, values)``; the field may belong to
     :class:`SystemConfig` (e.g. ``mem_latency_cycles``, ``num_corepairs``)
     or to :class:`DirectoryPolicy` (e.g. ``dir_entries``, ``dir_banks``).
+
+    The cross product is embarrassingly parallel: with ``jobs > 1`` the
+    cells fan out over the :mod:`repro.runner` process pool, and a
+    :class:`ResultCache` serves previously-simulated points from disk.
     """
     axis_name, axis_values = axis
     instance = get_workload(workload) if isinstance(workload, str) else workload
@@ -88,8 +95,9 @@ def sweep(
         axis_values=list(axis_values),
         policies=list(policies),
     )
+    cells: list[Cell] = []
+    labels: list[tuple[str, object]] = []
     for policy_name in policies:
-        runs: list[SimulationResult] = []
         for value in axis_values:
             policy = PRESETS[policy_name]
             if axis_name in _POLICY_FIELDS:
@@ -98,13 +106,20 @@ def sweep(
             else:
                 config = config_factory(policy=policy)
                 config = replace(config, **{axis_name: value})
-            system = build_system(config)
-            run = system.run_workload(instance, scale=scale, verify=verify)
-            if not run.ok:
-                raise RuntimeError(
-                    f"{instance.name}/{policy_name}/{axis_name}={value} failed: "
-                    f"{run.check_errors[:3]}"
-                )
-            runs.append(run)
-        result.results[policy_name] = runs
+            cells.append(Cell(
+                workload=instance,
+                config=config,
+                scale=scale,
+                verify=verify,
+                label=f"{instance.name}/{policy_name}/{axis_name}={value}",
+            ))
+            labels.append((policy_name, value))
+    runs = run_cells(cells, jobs=jobs, cache=cache, progress=progress)
+    for (policy_name, value), run in zip(labels, runs):
+        if not run.ok:
+            raise RuntimeError(
+                f"{instance.name}/{policy_name}/{axis_name}={value} failed: "
+                f"{run.check_errors[:3]}"
+            )
+        result.results.setdefault(policy_name, []).append(run)
     return result

@@ -6,6 +6,8 @@ Subcommands:
   (optionally energy breakdown, stats dump, protocol trace tail).
 - ``compare`` — run one workload across several policies, print a table.
 - ``figures`` — regenerate the paper's figures (Figures 4-7 + tables).
+- ``bench`` — regenerate figures through the parallel runner with the
+  persistent result cache (``--jobs``, ``--no-cache``, ``--clear-cache``).
 - ``list`` — list bundled workloads and policy presets.
 """
 
@@ -36,6 +38,13 @@ CONFIGS = {
     "small": SystemConfig.small,
     "ryzen": SystemConfig.ryzen_2200g,
 }
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -73,6 +82,29 @@ def _build_parser() -> argparse.ArgumentParser:
 
     fig_p = sub.add_parser("figures", help="regenerate the paper's figures")
     fig_p.add_argument("--scale", type=float, default=1.0)
+    fig_p.add_argument("--jobs", type=_positive_int, default=None,
+                       help="worker processes (default: os.cpu_count())")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="regenerate figures via the parallel runner + persistent cache",
+    )
+    bench_p.add_argument("--figure", choices=["4", "5", "6", "7", "all"],
+                         default="all", help="which figure to regenerate")
+    bench_p.add_argument("--jobs", type=_positive_int, default=None,
+                         help="worker processes (default: os.cpu_count())")
+    bench_p.add_argument("--scale", type=float, default=1.0)
+    bench_p.add_argument("--verify", action="store_true",
+                         help="attach the invariant monitor and value oracle")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="disable the persistent result cache")
+    bench_p.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache location (default: .repro_cache, or "
+                              "$REPRO_CACHE_DIR)")
+    bench_p.add_argument("--clear-cache", action="store_true",
+                         help="clear the cache before running")
+    bench_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-cell wall-clock timeout in seconds")
 
     val_p = sub.add_parser("validate",
                            help="check every headline claim (scorecard)")
@@ -162,7 +194,7 @@ def _compare(args) -> int:
 
 
 def _figures(args) -> int:
-    matrix = ExperimentMatrix(scale=args.scale)
+    matrix = ExperimentMatrix(scale=args.scale, jobs=getattr(args, "jobs", None))
     print(table2_text())
     print()
     print(table3_text())
@@ -172,6 +204,45 @@ def _figures(args) -> int:
         print(figure.to_text())
         if figure.name == "Figure 5":
             print(f"average reduction: {figure5_reduction(figure):.1f}% [paper: 50.4%]")
+    return 0
+
+
+def _bench(args) -> int:
+    import time
+
+    from repro.runner import ResultCache, default_progress
+
+    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cached result(s) from {cache.root}")
+    matrix = ExperimentMatrix(
+        scale=args.scale,
+        verify=args.verify,
+        jobs=args.jobs,
+        cache=cache if not args.no_cache else None,
+        progress=default_progress,
+        timeout_s=args.timeout,
+    )
+    figures = {
+        "4": run_figure4,
+        "5": run_figure5,
+        "6": run_figure6,
+        "7": run_figure7,
+    }
+    selected = list(figures.values()) if args.figure == "all" else [figures[args.figure]]
+    start = time.perf_counter()
+    for regenerate in selected:
+        figure = regenerate(matrix)
+        print("\n" + "=" * 70)
+        print(figure.to_text())
+        if figure.name == "Figure 5":
+            print(f"average reduction: {figure5_reduction(figure):.1f}% [paper: 50.4%]")
+    elapsed = time.perf_counter() - start
+    print(
+        f"\n[bench] {elapsed:.2f}s wall clock, "
+        f"cache: {cache.hits} hit(s) / {cache.misses} miss(es) at {cache.root}"
+    )
     return 0
 
 
@@ -203,6 +274,8 @@ def main(argv: list[str] | None = None) -> int:
         return _compare(args)
     if args.command == "figures":
         return _figures(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "validate":
         return _validate(args)
     return _list()

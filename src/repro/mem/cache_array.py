@@ -13,7 +13,7 @@ from typing import Any, Callable, Iterator
 
 from repro.mem.address import LINE_BYTES
 from repro.mem.block import LineData
-from repro.mem.replacement import ReplacementPolicy, TreePLRU
+from repro.mem.replacement import ReplacementPolicy, TreePLRU, preferred_order
 
 
 class CacheLine:
@@ -126,7 +126,7 @@ class CacheArray:
         candidates = [w for w, cost in enumerate(costs) if cost == cheapest]
         if victim_way in candidates:
             return ways[victim_way]
-        return ways[candidates[0]]
+        return ways[preferred_order(self._repl[index], candidates)[0]]
 
     def install(
         self,

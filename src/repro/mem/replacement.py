@@ -9,7 +9,8 @@ breaking ties — and is benchmarked in the ablation suite.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import copy
+from typing import Callable, Iterable
 
 
 class ReplacementPolicy:
@@ -120,7 +121,7 @@ class StateAwarePLRU(TreePLRU):
             return plru_choice
         # Fall back to the candidate the PLRU bits consider least recent:
         # walk candidates in PLRU preference order by repeatedly victimizing.
-        return candidates[0]
+        return preferred_order(self, candidates)[0]
 
 
 def policy_factory(name: str) -> Callable[[int], ReplacementPolicy]:
@@ -128,6 +129,7 @@ def policy_factory(name: str) -> Callable[[int], ReplacementPolicy]:
     table: dict[str, Callable[[int], ReplacementPolicy]] = {
         "lru": LRU,
         "tree_plru": TreePLRU,
+        "state_aware_plru": StateAwarePLRU,
     }
     try:
         return table[name]
@@ -137,6 +139,53 @@ def policy_factory(name: str) -> Callable[[int], ReplacementPolicy]:
         ) from None
 
 
-def preferred_order(policy: ReplacementPolicy, ways: Sequence[int]) -> list[int]:
-    """Debug helper: rank ``ways`` from most- to least-preferred victim."""
-    return sorted(ways, key=lambda way: 0 if way == policy.victim() else 1)
+def _enumerate_preference(clone: ReplacementPolicy) -> list[int]:
+    """Drain ``clone``'s full victim preference by repeated victimize+touch.
+
+    Each round asks for the victim, records it, and touches it (making it
+    most-recent) so the next round surfaces the next-preferred way.  The
+    caller must pass a disposable copy — the walk mutates the policy state.
+    """
+    ranking: list[int] = []
+    remaining = set(range(clone.ways))
+    leaves = getattr(clone, "_leaves", clone.ways)
+    guard = 4 * leaves * leaves + 16
+    while remaining:
+        guard -= 1
+        if guard < 0:  # pragma: no cover - defensive against bad policies
+            raise RuntimeError(
+                f"replacement policy {clone!r} did not yield all ways"
+            )
+        victim = clone.victim()
+        if victim in remaining:
+            ranking.append(victim)
+            remaining.discard(victim)
+        clone.touch(victim)
+    return ranking
+
+
+def preferred_order(
+    policy: ReplacementPolicy, ways: Iterable[int] | None = None
+) -> list[int]:
+    """Rank ``ways`` (default: all of them) from most- to least-preferred
+    victim, without disturbing the live policy state.
+
+    For :class:`StateAwarePLRU` with a cost function the ranking is by
+    ``(cost, PLRU recency)``; for every other policy it is the pure
+    recency order obtained by repeatedly victimizing a copy.
+    """
+    requested = list(range(policy.ways)) if ways is None else list(ways)
+    invalid = [way for way in requested if not 0 <= way < policy.ways]
+    if invalid:
+        raise ValueError(f"ways out of range for {policy.ways}-way policy: {invalid}")
+    if isinstance(policy, StateAwarePLRU) and policy.cost_of is not None:
+        # Cost-based victims never surface expensive ways, so enumerate the
+        # underlying tree instead and order by (cost, PLRU preference).
+        tree = TreePLRU(policy.ways)
+        tree._bits = list(policy._bits)
+        plru_rank = {way: r for r, way in enumerate(_enumerate_preference(tree))}
+        return sorted(requested, key=lambda way: (policy.cost_of(way), plru_rank[way]))
+    rank = {
+        way: r for r, way in enumerate(_enumerate_preference(copy.deepcopy(policy)))
+    }
+    return sorted(requested, key=lambda way: rank[way])

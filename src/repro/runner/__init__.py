@@ -1,0 +1,33 @@
+"""Parallel experiment runner with a persistent result cache.
+
+Public surface:
+
+- :class:`Cell` — one (workload, config) simulation.
+- :func:`run_cells` — cache-aware, process-pool execution of many cells.
+- :class:`ResultCache` / :func:`cell_key` — the on-disk cache.
+"""
+
+from repro.runner.cache import ResultCache, cell_key, source_digest, workload_token
+from repro.runner.cells import Cell
+from repro.runner.executor import (
+    CellError,
+    CellTimeout,
+    default_progress,
+    effective_jobs,
+    run_cell_inline,
+    run_cells,
+)
+
+__all__ = [
+    "Cell",
+    "CellError",
+    "CellTimeout",
+    "ResultCache",
+    "cell_key",
+    "default_progress",
+    "effective_jobs",
+    "run_cell_inline",
+    "run_cells",
+    "source_digest",
+    "workload_token",
+]

@@ -1,0 +1,163 @@
+"""Persistent, content-addressed simulation-result cache.
+
+Results live under ``.repro_cache/`` (override with ``REPRO_CACHE_DIR``),
+one JSON file per cell, keyed by a stable hash of everything that
+determines the outcome:
+
+- the full :class:`SystemConfig` (including its ``DirectoryPolicy``),
+  serialized through :mod:`repro.system.serialize`;
+- the workload (registry name, or class + constructor state for ad-hoc
+  instances);
+- the ``scale`` / ``verify`` / ``seed`` run parameters;
+- a digest of every ``repro`` source file, so any code change invalidates
+  the whole cache rather than serving stale results.
+
+Because the simulator is deterministic, a cache hit is bit-identical to a
+re-run; repeated ``pytest benchmarks/`` or ``examples/reproduce_paper.py``
+invocations therefore perform zero simulations once warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.runner.cells import Cell
+from repro.system.apu import SimulationResult
+from repro.system.serialize import config_to_dict, result_from_dict, result_to_dict
+
+#: bump when the key schema or stored payload layout changes
+CACHE_VERSION = 1
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+_SOURCE_DIGEST: str | None = None
+
+
+def source_digest() -> str:
+    """Digest of every ``repro`` source file (computed once per process)."""
+    global _SOURCE_DIGEST
+    if _SOURCE_DIGEST is None:
+        root = pathlib.Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _SOURCE_DIGEST = digest.hexdigest()
+    return _SOURCE_DIGEST
+
+
+def workload_token(workload) -> str:
+    """A stable identity for a cell's workload.
+
+    Registered benchmarks are identified by name; ad-hoc :class:`Workload`
+    instances (microbenchmarks, parameterized variants) by their class and
+    constructor state, so two instances with the same parameters share
+    cache entries.
+    """
+    if isinstance(workload, str):
+        return workload
+    state = {key: repr(value) for key, value in sorted(vars(workload).items())}
+    return (
+        f"{type(workload).__module__}.{type(workload).__qualname__}"
+        f":{json.dumps(state, sort_keys=True)}"
+    )
+
+
+def cell_key(cell: Cell) -> str:
+    """Content-addressed cache key for ``cell`` (hex sha256)."""
+    payload = {
+        "version": CACHE_VERSION,
+        "source": source_digest(),
+        "workload": workload_token(cell.workload),
+        "config": config_to_dict(cell.config),
+        "scale": cell.scale,
+        "verify": cell.verify,
+        "seed": cell.seed,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store; safe under concurrent writers (atomic rename)."""
+
+    def __init__(self, root: str | os.PathLike | None = None, enabled: bool = True) -> None:
+        self.root = pathlib.Path(
+            root if root is not None
+            else os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        )
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for ``key``, or None on a miss."""
+        if not self.enabled:
+            return None
+        try:
+            data = json.loads(self._path(key).read_text())
+            result = result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, cell: Cell, result: SimulationResult) -> None:
+        """Persist ``result`` for ``key`` (atomic: concurrent writers race
+        benignly — last rename wins with identical content)."""
+        if not self.enabled:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": CACHE_VERSION,
+            "key": key,
+            "workload": workload_token(cell.workload),
+            "scale": cell.scale,
+            "verify": cell.verify,
+            "seed": cell.seed,
+            "config": config_to_dict(cell.config),
+            "result": result_to_dict(result),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.rglob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.rglob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.root)!r}, enabled={self.enabled}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,229 @@
+"""Process-pool execution of simulation cells.
+
+``run_cells`` is the single entry point: it checks the persistent cache,
+fans the remaining cells out over a :class:`ProcessPoolExecutor`
+(``jobs=1`` stays in-process), enforces a per-cell timeout (SIGALRM inside
+the worker, where available), retries each crashed cell once in a fresh
+pool, and emits structured progress lines.
+
+Workers rebuild the system from the serialized config and return the
+result as a plain dict (see :mod:`repro.system.serialize`), so nothing
+simulator-internal crosses the process boundary and parallel results are
+bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
+
+from repro.runner.cache import ResultCache, cell_key
+from repro.runner.cells import Cell
+from repro.system.apu import SimulationResult
+from repro.system.serialize import config_from_dict, config_to_dict, result_from_dict, result_to_dict
+
+#: how many times a crashed cell is resubmitted before giving up
+DEFAULT_RETRIES = 1
+
+
+class CellError(RuntimeError):
+    """A cell failed to execute (crash, timeout, or worker exception)."""
+
+
+class CellTimeout(CellError):
+    """A cell exceeded its per-cell wall-clock timeout."""
+
+
+def effective_jobs(jobs: int | None) -> int:
+    """Resolve a ``--jobs`` value: None means one worker per CPU."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _alarm_handler(_signum, _frame):  # pragma: no cover - fires in workers
+    raise CellTimeout("cell exceeded its wall-clock timeout")
+
+
+def _cell_payload(cell: Cell, timeout_s: float | None) -> dict:
+    return {
+        "workload": cell.workload,  # name, or pickled Workload instance
+        "config": config_to_dict(cell.config),
+        "scale": cell.scale,
+        "verify": cell.verify,
+        "seed": cell.seed,
+        "timeout_s": timeout_s,
+        "label": cell.display,
+    }
+
+
+def _run_payload(payload: dict) -> dict:
+    """Worker entry point: rebuild, simulate, return a result dict."""
+    timeout_s = payload.get("timeout_s")
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(max(1, int(timeout_s)))
+    try:
+        from repro.system.builder import build_system
+        from repro.workloads.registry import get_workload
+
+        config = config_from_dict(payload["config"])
+        workload = payload["workload"]
+        if isinstance(workload, str):
+            workload = get_workload(workload)
+        system = build_system(config)
+        result = system.run_workload(
+            workload,
+            seed=payload["seed"],
+            scale=payload["scale"],
+            verify=payload["verify"],
+        )
+        return result_to_dict(result)
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+
+
+def run_cell_inline(cell: Cell) -> SimulationResult:
+    """Run one cell in this process (the serial reference path)."""
+    from repro.system.builder import build_system
+    from repro.workloads.registry import get_workload
+
+    workload = cell.workload
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    system = build_system(cell.config)
+    return system.run_workload(
+        workload, seed=cell.seed, scale=cell.scale, verify=cell.verify
+    )
+
+
+def _picklable(payload: dict) -> bool:
+    try:
+        pickle.dumps(payload)
+        return True
+    except Exception:
+        return False
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    timeout_s: float | None = None,
+    retries: int = DEFAULT_RETRIES,
+    progress: Callable[[str], None] | None = None,
+) -> list[SimulationResult]:
+    """Run every cell, in input order, returning one result per cell.
+
+    Cached cells are served from ``cache`` without simulating; the rest run
+    on a pool of ``jobs`` workers (``jobs=1`` or a single pending cell runs
+    in-process).  Identical duplicate cells are simulated once.
+    """
+    jobs = effective_jobs(jobs)
+    emit = progress or (lambda line: None)
+    total = len(cells)
+    results: list[SimulationResult | None] = [None] * total
+    keys = [cell_key(cell) if cache is not None else None for cell in cells]
+
+    pending: list[int] = []
+    seen_keys: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    for index, cell in enumerate(cells):
+        key = keys[index]
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                emit(f"[runner] {index + 1}/{total} {cell.display}: cache hit")
+                continue
+            if key in seen_keys:
+                duplicates.append((index, seen_keys[key]))
+                continue
+            seen_keys[key] = index
+        pending.append(index)
+
+    if pending:
+        if jobs <= 1 or len(pending) == 1:
+            for position, index in enumerate(pending):
+                start = time.perf_counter()
+                results[index] = run_cell_inline(cells[index])
+                emit(
+                    f"[runner] {position + 1}/{len(pending)} {cells[index].display}: "
+                    f"simulated inline in {time.perf_counter() - start:.2f}s"
+                )
+        else:
+            _run_pool(cells, pending, results, jobs, timeout_s, retries, emit)
+        if cache is not None:
+            for index in pending:
+                cache.put(keys[index], cells[index], results[index])
+
+    for index, source in duplicates:
+        results[index] = results[source]
+    return results  # type: ignore[return-value]
+
+
+def _run_pool(
+    cells: Sequence[Cell],
+    pending: list[int],
+    results: list,
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    emit: Callable[[str], None],
+) -> None:
+    payloads = {index: _cell_payload(cells[index], timeout_s) for index in pending}
+    # Unpicklable workload instances cannot cross the process boundary;
+    # run them inline rather than poisoning the pool.
+    queue = []
+    for index in pending:
+        if _picklable(payloads[index]):
+            queue.append(index)
+        else:
+            emit(f"[runner] {cells[index].display}: not picklable, running inline")
+            results[index] = run_cell_inline(cells[index])
+
+    attempts = dict.fromkeys(queue, 0)
+    done = 0
+    total = len(queue)
+    while queue:
+        # A fresh pool per round also recovers from BrokenProcessPool.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
+            futures = {pool.submit(_run_payload, payloads[i]): i for i in queue}
+            queue = []
+            for future in as_completed(futures):
+                index = futures[future]
+                cell = cells[index]
+                try:
+                    results[index] = result_from_dict(future.result())
+                    done += 1
+                    emit(f"[runner] {done}/{total} {cell.display}: simulated on pool")
+                except CellTimeout as exc:
+                    raise CellError(
+                        f"cell {cell.display} timed out after {timeout_s}s"
+                    ) from exc
+                except Exception as exc:  # crash, BrokenProcessPool, pickling
+                    attempts[index] += 1
+                    if attempts[index] > retries:
+                        raise CellError(
+                            f"cell {cell.display} failed after "
+                            f"{attempts[index]} attempt(s): {exc}"
+                        ) from exc
+                    emit(
+                        f"[runner] {cell.display}: crashed ({type(exc).__name__}), "
+                        f"retry {attempts[index]}/{retries}"
+                    )
+                    queue.append(index)
+
+
+def default_progress(line: str) -> None:
+    """A ready-made progress sink: one line per event on stderr."""
+    print(line, file=sys.stderr, flush=True)

@@ -69,6 +69,10 @@ class EventQueue:
             self.pop_and_run()
             executed += 1
 
+    def next_time(self) -> int | None:
+        """Tick of the earliest pending event (None when the queue is empty)."""
+        return self._heap[0][0] if self._heap else None
+
 
 class Simulator:
     """Top-level container: event queue, component registry, and run control.
@@ -131,9 +135,21 @@ class Simulator:
             callback()
         return self.events.now
 
-    def run_for(self, ticks: int) -> int:
-        """Run at most ``ticks`` ticks from now; returns the final tick."""
-        self.events.run(until=self.events.now + ticks)
+    def run_for(self, ticks: int, max_events: int | None = None) -> int:
+        """Run at most ``ticks`` ticks from now; returns the final tick.
+
+        Enforces the same ``DEFAULT_MAX_EVENTS`` livelock backstop as
+        :meth:`run`: if the event budget is exhausted while events remain
+        inside the time window, the run raises instead of spinning forever.
+        """
+        limit = self.DEFAULT_MAX_EVENTS if max_events is None else max_events
+        target = self.events.now + ticks
+        self.events.run(until=target, max_events=limit)
+        next_time = self.events.next_time()
+        if next_time is not None and next_time <= target:
+            raise SimulationError(
+                f"simulation exceeded max_events={limit} (possible livelock)"
+            )
         return self.events.now
 
 

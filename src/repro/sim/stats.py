@@ -23,10 +23,20 @@ class StatGroup:
 
     def inc(self, counter: str, amount: int | float = 1) -> None:
         """Increment ``counter`` by ``amount`` (creating it at zero)."""
+        self._reserve_counter(counter)
         self._counters[counter] = self._counters.get(counter, 0) + amount
 
     def set(self, counter: str, value: int | float) -> None:
+        self._reserve_counter(counter)
         self._counters[counter] = value
+
+    def _reserve_counter(self, counter: str) -> None:
+        if counter in self._children:
+            raise ValueError(
+                f"stat name collision in group {self.name!r}: {counter!r} is "
+                "already a child group; the dotted keys would collide in "
+                "walk()/as_dict()"
+            )
 
     def get(self, counter: str, default: int | float = 0) -> int | float:
         return self._counters.get(counter, default)
@@ -44,6 +54,12 @@ class StatGroup:
         """Get or create a child group."""
         group = self._children.get(name)
         if group is None:
+            if name in self._counters:
+                raise ValueError(
+                    f"stat name collision in group {self.name!r}: {name!r} is "
+                    "already a counter; the dotted keys would collide in "
+                    "walk()/as_dict()"
+                )
             group = StatGroup(name)
             self._children[name] = group
         return group

@@ -1,10 +1,17 @@
-"""Configuration (de)serialization.
+"""Configuration and result (de)serialization.
 
 Experiments live or die by config provenance: ``config_to_dict`` /
 ``config_from_dict`` round-trip a full :class:`SystemConfig` (including its
 :class:`DirectoryPolicy`) through plain JSON-able dicts, so a run's exact
 configuration can be stored next to its results and replayed bit-for-bit
 (``python -m repro run ... --config-file saved.json``).
+
+``result_to_dict`` / ``result_from_dict`` do the same for
+:class:`SimulationResult` so the parallel runner can ship results across
+process boundaries and persist them in the on-disk cache
+(:mod:`repro.runner.cache`) without losing a single bit: every field is an
+int, float, string, or flat container thereof, all of which survive a JSON
+round-trip exactly.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ import dataclasses
 import json
 
 from repro.coherence.policies import DirectoryKind, DirectoryPolicy
+from repro.system.apu import SimulationResult
 from repro.system.config import CacheGeometry, SystemConfig
 
 _GEOMETRY_FIELDS = {"l1d", "l1i", "l2", "tcp", "sqc", "tcc", "llc"}
@@ -64,6 +72,22 @@ def config_from_dict(data: dict) -> SystemConfig:
     config = SystemConfig(**fields)
     config.validate()
     return config
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """A JSON-able dict capturing every field of ``result`` exactly."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(data: dict) -> SimulationResult:
+    fields = dict(data)
+    fields["check_errors"] = list(fields.get("check_errors", []))
+    fields["stats"] = dict(fields.get("stats", {}))
+    known = {f.name for f in dataclasses.fields(SimulationResult)}
+    unknown = set(fields) - known
+    if unknown:
+        raise ValueError(f"unknown result fields: {sorted(unknown)}")
+    return SimulationResult(**fields)
 
 
 def save_config(config: SystemConfig, path: str) -> None:

@@ -94,3 +94,201 @@ class TestPolicyFactory:
     def test_unknown_name_raises(self):
         with pytest.raises(ValueError, match="unknown replacement policy"):
             policy_factory("random")
+
+
+class RefTreePLRU:
+    """Independent reference model of Tree-PLRU.
+
+    Implemented recursively over an explicit node map (vs the production
+    iterative walk over a flat bit array) so the differential test compares
+    two genuinely different encodings of the same policy.
+    """
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.leaves = 1
+        while self.leaves < ways:
+            self.leaves *= 2
+        self.lru_side: dict[tuple[int, int], str] = {}  # (lo, hi) -> "left"/"right"
+
+    def _touch(self, lo: int, hi: int, way: int) -> None:
+        if hi - lo == 1:
+            return
+        mid = (lo + hi) // 2
+        if way < mid:
+            self.lru_side[(lo, hi)] = "right"
+            self._touch(lo, mid, way)
+        else:
+            self.lru_side[(lo, hi)] = "left"
+            self._touch(mid, hi, way)
+
+    def touch(self, way: int) -> None:
+        self._touch(0, self.leaves, way)
+
+    def _walk(self, lo: int, hi: int) -> int:
+        if hi - lo == 1:
+            return lo
+        mid = (lo + hi) // 2
+        if self.lru_side.get((lo, hi), "left") == "left":
+            return self._walk(lo, mid)
+        return self._walk(mid, hi)
+
+    def victim(self) -> int:
+        for _attempt in range(self.leaves):
+            leaf = self._walk(0, self.leaves)
+            if leaf < self.ways:
+                return leaf
+            self.touch(leaf)  # padding leaf: mark recent, retry
+        raise RuntimeError("reference model failed to find a victim")
+
+
+class TestTreePLRUDifferential:
+    """Randomized differential test against the reference model, covering
+    power-of-two and non-power-of-two associativities."""
+
+    @pytest.mark.parametrize("ways", [2, 3, 4, 5, 6, 7, 8, 12, 16])
+    def test_matches_reference_on_random_sequences(self, ways):
+        import random
+
+        rng = random.Random(1234 + ways)
+        for _trial in range(20):
+            model = TreePLRU(ways)
+            reference = RefTreePLRU(ways)
+            for _step in range(100):
+                if rng.random() < 0.7:
+                    way = rng.randrange(ways)
+                    model.touch(way)
+                    reference.touch(way)
+                else:
+                    # victim() may mutate padding state; call on both.
+                    assert model.victim() == reference.victim()
+            assert model.victim() == reference.victim()
+
+    @given(
+        st.integers(min_value=1, max_value=16),
+        st.lists(st.tuples(st.booleans(), st.integers(min_value=0, max_value=15)),
+                 max_size=60),
+    )
+    def test_matches_reference_property(self, ways, operations):
+        model = TreePLRU(ways)
+        reference = RefTreePLRU(ways)
+        for is_touch, raw_way in operations:
+            if is_touch:
+                way = raw_way % ways
+                model.touch(way)
+                reference.touch(way)
+            else:
+                assert model.victim() == reference.victim()
+
+
+class TestPreferredOrder:
+    def test_lru_order_is_exact_recency(self):
+        from repro.mem.replacement import preferred_order
+
+        policy = LRU(4)
+        for way in (2, 0, 3, 1):
+            policy.touch(way)
+        assert preferred_order(policy) == [2, 0, 3, 1]
+
+    def test_regression_not_just_current_victim_first(self):
+        """The old implementation only pulled the current victim to the
+        front, leaving the rest in input order."""
+        from repro.mem.replacement import preferred_order
+
+        policy = LRU(4)
+        for way in (3, 2, 1, 0):
+            policy.touch(way)
+        # true preference is reverse touch order; old code returned [3,1,2,0]
+        # for input [1, 2, 3, 0] (victim first, remainder untouched).
+        assert preferred_order(policy, [1, 2, 3, 0]) == [3, 2, 1, 0]
+
+    def test_tree_plru_first_is_victim_and_full_permutation(self):
+        from repro.mem.replacement import preferred_order
+
+        policy = TreePLRU(8)
+        for way in (0, 3, 5, 1):
+            policy.touch(way)
+        order = preferred_order(policy)
+        assert order[0] == policy.victim()
+        assert sorted(order) == list(range(8))
+        assert order.index(1) > order.index(2)  # recently touched ranks later
+
+    def test_does_not_disturb_live_state(self):
+        from repro.mem.replacement import preferred_order
+
+        policy = TreePLRU(4)
+        policy.touch(2)
+        before = list(policy._bits)
+        preferred_order(policy)
+        assert policy._bits == before
+
+    def test_subset_filtering(self):
+        from repro.mem.replacement import preferred_order
+
+        policy = LRU(4)
+        for way in (1, 0, 3, 2):
+            policy.touch(way)
+        assert preferred_order(policy, [3, 0]) == [0, 3]
+
+    def test_out_of_range_way_rejected(self):
+        from repro.mem.replacement import preferred_order
+
+        with pytest.raises(ValueError, match="out of range"):
+            preferred_order(LRU(4), [0, 4])
+
+    def test_state_aware_ranking_orders_by_cost_then_recency(self):
+        from repro.mem.replacement import preferred_order
+
+        costs = {0: 1, 1: 0, 2: 1, 3: 0}
+        policy = StateAwarePLRU(4, cost_of=lambda way: costs[way])
+        order = preferred_order(policy)
+        assert sorted(order) == [0, 1, 2, 3]
+        assert {order[0], order[1]} == {1, 3}  # cheap ways first
+        assert {order[2], order[3]} == {0, 2}
+
+
+class TestStateAwareFallback:
+    def test_fallback_uses_plru_preference_not_lowest_index(self):
+        """Regression: when the raw PLRU choice is not a minimum-cost
+        candidate, the victim must be the PLRU-preferred candidate, not
+        simply the lowest way index."""
+        policy = StateAwarePLRU(4, cost_of=lambda way: 1 if way == 0 else 0)
+        policy.touch(3)
+        # raw PLRU choice is way 0 (expensive); PLRU preference among the
+        # cheap candidates {1, 2, 3} is way 2, but the old code returned 1.
+        assert policy.victim() == 2
+
+    def test_fallback_is_stateless(self):
+        policy = StateAwarePLRU(4, cost_of=lambda way: 1 if way == 0 else 0)
+        policy.touch(3)
+        assert policy.victim() == policy.victim()
+
+    def test_fallback_matches_preferred_order(self):
+        import random
+
+        from repro.mem.replacement import preferred_order
+
+        rng = random.Random(99)
+        for _trial in range(25):
+            ways = rng.choice([4, 6, 8])
+            expensive = set(rng.sample(range(ways), rng.randrange(1, ways - 1)))
+            policy = StateAwarePLRU(
+                ways, cost_of=lambda way, e=expensive: 1 if way in e else 0
+            )
+            for _touch in range(rng.randrange(0, 12)):
+                policy.touch(rng.randrange(ways))
+            victim = policy.victim()
+            assert victim not in expensive
+            assert victim == preferred_order(
+                policy, [w for w in range(ways) if w not in expensive]
+            )[0]
+
+
+class TestStateAwareFactoryRegistration:
+    def test_registered_in_policy_factory(self):
+        assert policy_factory("state_aware_plru") is StateAwarePLRU
+
+    def test_constructible_through_factory(self):
+        policy = policy_factory("state_aware_plru")(8)
+        assert isinstance(policy, StateAwarePLRU)
+        assert policy.victim() == 0

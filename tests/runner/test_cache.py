@@ -1,0 +1,106 @@
+"""Tests for the persistent result cache: keys, hits, misses, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.policies import PRESETS
+from repro.runner import Cell, ResultCache, cell_key, run_cell_inline, workload_token
+from repro.system.config import SystemConfig
+from repro.workloads.micro import MigratoryCounter
+
+
+def small_cell(**overrides) -> Cell:
+    defaults = dict(
+        workload="bs",
+        config=SystemConfig.small(policy=PRESETS["baseline"]),
+        scale=0.25,
+    )
+    defaults.update(overrides)
+    return Cell(**defaults)
+
+
+class TestCellKey:
+    def test_stable_for_identical_cells(self):
+        assert cell_key(small_cell()) == cell_key(small_cell())
+
+    def test_workload_changes_key(self):
+        assert cell_key(small_cell()) != cell_key(small_cell(workload="tq"))
+
+    def test_policy_changes_key(self):
+        other = small_cell(config=SystemConfig.small(policy=PRESETS["sharers"]))
+        assert cell_key(small_cell()) != cell_key(other)
+
+    def test_scale_verify_seed_change_key(self):
+        base = cell_key(small_cell())
+        assert base != cell_key(small_cell(scale=0.5))
+        assert base != cell_key(small_cell(verify=True))
+        assert base != cell_key(small_cell(seed=7))
+
+    def test_label_does_not_change_key(self):
+        assert cell_key(small_cell()) == cell_key(small_cell(label="display-only"))
+
+    def test_source_digest_invalidates_key(self, monkeypatch):
+        base = cell_key(small_cell())
+        monkeypatch.setattr(
+            "repro.runner.cache.source_digest", lambda: "different-code"
+        )
+        assert cell_key(small_cell()) != base
+
+    def test_workload_instance_token_includes_parameters(self):
+        assert workload_token(MigratoryCounter(4)) != workload_token(MigratoryCounter(8))
+        assert workload_token(MigratoryCounter(4)) == workload_token(MigratoryCounter(4))
+
+    def test_instance_parameters_change_key(self):
+        a = cell_key(small_cell(workload=MigratoryCounter(4)))
+        b = cell_key(small_cell(workload=MigratoryCounter(8)))
+        assert a != b
+
+
+class TestResultCache:
+    @pytest.fixture
+    def cache(self, tmp_path) -> ResultCache:
+        return ResultCache(tmp_path / "cache")
+
+    def test_miss_then_hit_round_trips_exactly(self, cache):
+        cell = small_cell()
+        key = cell_key(cell)
+        assert cache.get(key) is None
+        result = run_cell_inline(cell)
+        cache.put(key, cell, result)
+        restored = cache.get(key)
+        assert restored == result
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disabled_cache_never_stores(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache", enabled=False)
+        cell = small_cell()
+        key = cell_key(cell)
+        cache.put(key, cell, run_cell_inline(cell))
+        assert len(cache) == 0
+        assert cache.get(key) is None
+        assert cache.hits == 0
+
+    def test_clear_removes_everything(self, cache):
+        cell = small_cell()
+        result = run_cell_inline(cell)
+        cache.put(cell_key(cell), cell, result)
+        other = small_cell(workload="tq")
+        cache.put(cell_key(other), other, run_cell_inline(other))
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.get(cell_key(cell)) is None
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cell = small_cell()
+        key = cell_key(cell)
+        cache.put(key, cell, run_cell_inline(cell))
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_code_change_invalidates(self, cache, monkeypatch):
+        cell = small_cell()
+        cache.put(cell_key(cell), cell, run_cell_inline(cell))
+        monkeypatch.setattr("repro.runner.cache.source_digest", lambda: "edited")
+        assert cache.get(cell_key(cell)) is None

@@ -1,0 +1,255 @@
+"""Tests for the process-pool executor: serial/parallel equality, caching,
+retry-on-crash, timeouts, and the matrix/sweep integration."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.analysis.experiments import ExperimentMatrix, run_figure4
+from repro.analysis.sweeps import sweep
+from repro.coherence.policies import PRESETS
+from repro.runner import (
+    Cell,
+    CellError,
+    ResultCache,
+    effective_jobs,
+    run_cells,
+)
+from repro.system.config import SystemConfig
+from repro.workloads.base import Workload, WorkloadBuild
+from repro.workloads.micro import MigratoryCounter
+
+
+def cells_for(names, policy="baseline", scale=0.25):
+    return [
+        Cell(
+            workload=name,
+            config=SystemConfig.small(policy=PRESETS[policy]),
+            scale=scale,
+            label=f"{name}/{policy}",
+        )
+        for name in names
+    ]
+
+
+class CrashingWorkload(Workload):
+    """Raises during build on every attempt (deterministic crash)."""
+
+    name = "crash_always"
+
+    def build(self, ctx):
+        raise RuntimeError("intentional crash for the retry test")
+
+
+class FlakyWorkload(Workload):
+    """Crashes the first time, succeeds on retry (via a marker file that
+    survives the process boundary)."""
+
+    name = "crash_once"
+
+    def __init__(self, marker_path: str) -> None:
+        self.marker_path = marker_path
+
+    def build(self, ctx):
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as handle:
+                handle.write("crashed once")
+            raise RuntimeError("intentional first-attempt crash")
+        return MigratoryCounter(4).build(ctx)
+
+
+class SleepyWorkload(Workload):
+    """Sleeps long enough to trip the per-cell timeout."""
+
+    name = "sleepy"
+
+    def build(self, ctx):
+        time.sleep(10)
+        return WorkloadBuild(cpu_programs=[])  # pragma: no cover
+
+
+class UnpicklableWorkload(Workload):
+    """Cannot cross the process boundary (lambda attribute)."""
+
+    name = "unpicklable"
+
+    def __init__(self) -> None:
+        self.hook = lambda: None
+
+    def build(self, ctx):
+        return MigratoryCounter(4).build(ctx)
+
+
+class TestEffectiveJobs:
+    def test_none_means_cpu_count(self):
+        assert effective_jobs(None) == (os.cpu_count() or 1)
+
+    def test_explicit_value(self):
+        assert effective_jobs(3) == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            effective_jobs(0)
+
+
+class TestSerialParallelEquality:
+    def test_pool_results_bit_identical_to_serial(self):
+        batch = cells_for(["bs", "tq", "pad"])
+        serial = run_cells(batch, jobs=1)
+        parallel = run_cells(batch, jobs=2)
+        assert serial == parallel  # dataclass equality over every field
+
+    def test_order_preserved(self):
+        batch = cells_for(["bs", "tq", "pad"])
+        results = run_cells(batch, jobs=2)
+        assert [r.workload for r in results] == ["bs", "tq", "pad"]
+
+
+class TestCachedExecution:
+    def test_warm_run_performs_zero_simulations(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        batch = cells_for(["bs", "tq"])
+        cold = run_cells(batch, jobs=2, cache=cache)
+        assert cache.misses == 2 and len(cache) == 2
+
+        # Any attempt to simulate on the warm run must blow up loudly.
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm run simulated a cell")
+
+        monkeypatch.setattr("repro.runner.executor.run_cell_inline", boom)
+        monkeypatch.setattr("repro.runner.executor._run_pool", boom)
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = run_cells(cells_for(["bs", "tq"]), jobs=2, cache=warm_cache)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert warm == cold
+
+    def test_duplicate_cells_simulated_once(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        batch = cells_for(["bs", "bs", "bs"])
+        results = run_cells(batch, jobs=1, cache=cache)
+        assert len(cache) == 1  # one simulation backs all three cells
+        assert results[0] == results[1] == results[2]
+
+
+class TestFailureHandling:
+    def test_deterministic_crash_raises_cell_error_after_retry(self):
+        cell = Cell(
+            workload=CrashingWorkload(),
+            config=SystemConfig.small(policy=PRESETS["baseline"]),
+            label="crash_always",
+        )
+        with pytest.raises(CellError, match="crash_always.*2 attempt"):
+            run_cells([cell, *cells_for(["bs"])], jobs=2)
+
+    def test_crash_once_recovers_via_retry(self, tmp_path):
+        marker = tmp_path / "crashed.marker"
+        cell = Cell(
+            workload=FlakyWorkload(str(marker)),
+            config=SystemConfig.small(policy=PRESETS["baseline"]),
+            label="crash_once",
+        )
+        lines: list[str] = []
+        results = run_cells(
+            [cell, *cells_for(["bs"])], jobs=2, progress=lines.append
+        )
+        assert marker.exists()
+        assert results[0].ok
+        assert any("retry" in line for line in lines)
+
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_per_cell_timeout(self):
+        cell = Cell(
+            workload=SleepyWorkload(),
+            config=SystemConfig.small(policy=PRESETS["baseline"]),
+            label="sleepy",
+        )
+        with pytest.raises(CellError, match="timed out"):
+            run_cells([cell, *cells_for(["bs"])], jobs=2, timeout_s=1)
+
+    def test_unpicklable_workload_falls_back_inline(self):
+        cell = Cell(
+            workload=UnpicklableWorkload(),
+            config=SystemConfig.small(policy=PRESETS["baseline"]),
+            label="unpicklable",
+        )
+        lines: list[str] = []
+        results = run_cells(
+            [cell, *cells_for(["bs"])], jobs=2, progress=lines.append
+        )
+        assert results[0].ok
+        assert any("inline" in line for line in lines)
+
+
+class TestMatrixIntegration:
+    def test_parallel_matrix_matches_serial_figure(self, tmp_path):
+        serial = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=1
+        )
+        parallel = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=2,
+            cache=ResultCache(tmp_path / "cache"),
+        )
+        fig_serial = run_figure4(serial, benchmarks=["bs", "tq"])
+        fig_parallel = run_figure4(parallel, benchmarks=["bs", "tq"])
+        assert fig_serial.series == fig_parallel.series
+
+        # Warm rerun from a fresh matrix: zero simulations, identical stats.
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=2,
+            cache=warm_cache,
+        )
+        fig_warm = run_figure4(warm, benchmarks=["bs", "tq"])
+        assert fig_warm.series == fig_serial.series
+        assert warm_cache.misses == 0 and warm_cache.hits == 8
+
+    def test_run_batch_returns_every_pair(self):
+        matrix = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=2
+        )
+        pairs = [("bs", "baseline"), ("bs", "llcWB"), ("tq", "baseline")]
+        results = matrix.run_batch(pairs)
+        assert set(results) == set(pairs)
+        assert all(result.ok for result in results.values())
+        # in-memory identity caching still holds
+        assert matrix.run("bs", "baseline") is results[("bs", "baseline")]
+
+    def test_unknown_workload_still_raises_keyerror(self):
+        matrix = ExperimentMatrix(config_factory=SystemConfig.small, scale=0.25)
+        with pytest.raises(KeyError):
+            matrix.run("not-a-workload", "baseline")
+
+
+class TestSweepIntegration:
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        kwargs = dict(
+            workload=MigratoryCounter(8),
+            axis=("mem_latency_cycles", [50, 200]),
+            policies=["baseline", "sharers"],
+            config_factory=SystemConfig.small,
+        )
+        serial = sweep(jobs=1, **kwargs)
+        parallel = sweep(
+            jobs=2, cache=ResultCache(tmp_path / "cache"), **kwargs
+        )
+        for policy in ("baseline", "sharers"):
+            assert serial.results[policy] == parallel.results[policy]
+
+    def test_sweep_cache_warm_rerun(self, tmp_path):
+        kwargs = dict(
+            workload=MigratoryCounter(8),
+            axis=("dir_banks", [1, 2]),
+            policies=["sharers"],
+            config_factory=SystemConfig.small,
+        )
+        cold_cache = ResultCache(tmp_path / "cache")
+        cold = sweep(jobs=1, cache=cold_cache, **kwargs)
+        assert cold_cache.misses == 2
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm = sweep(jobs=1, cache=warm_cache, **kwargs)
+        assert warm_cache.hits == 2 and warm_cache.misses == 0
+        assert warm.results["sharers"] == cold.results["sharers"]

@@ -147,3 +147,48 @@ class TestSimulator:
         simulator.run_for(100)
         assert ran == [10]
         assert simulator.now == 100
+
+
+class TestRunForLivelockBackstop:
+    """``run_for`` must enforce the same max-events backstop as ``run``: a
+    livelocked protocol (events forever inside the window) used to hang."""
+
+    def _livelocked(self) -> Simulator:
+        simulator = Simulator()
+
+        def respawn():
+            simulator.events.schedule_after(1, respawn)
+
+        simulator.events.schedule(0, respawn)
+        return simulator
+
+    def test_run_for_raises_on_livelock(self):
+        simulator = self._livelocked()
+        with pytest.raises(SimulationError, match="max_events"):
+            simulator.run_for(10_000_000, max_events=100)
+
+    def test_run_for_default_uses_class_backstop(self):
+        simulator = self._livelocked()
+        simulator.DEFAULT_MAX_EVENTS = 50  # instance override for the test
+        with pytest.raises(SimulationError, match="max_events=50"):
+            simulator.run_for(10_000_000)
+
+    def test_run_for_still_respects_time_window(self):
+        simulator = self._livelocked()
+        assert simulator.run_for(10, max_events=1_000) == 10
+        assert simulator.events.executed_events <= 12
+
+    def test_run_for_finite_events_unaffected(self):
+        simulator = Simulator()
+        fired = []
+        simulator.events.schedule(5, lambda: fired.append(5))
+        simulator.events.schedule(25, lambda: fired.append(25))
+        assert simulator.run_for(10) == 10
+        assert fired == [5]
+
+    def test_next_time_reports_earliest_event(self):
+        queue = EventQueue()
+        assert queue.next_time() is None
+        queue.schedule(7, lambda: None)
+        queue.schedule(3, lambda: None)
+        assert queue.next_time() == 3

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.stats import StatGroup
 
 
@@ -66,3 +68,41 @@ class TestStatGroup:
         copy = group.counters()
         copy["n"] = 100
         assert group["n"] == 1
+
+
+class TestNameCollisions:
+    """A counter and a child group sharing a name would produce duplicate
+    dotted keys, and ``as_dict()`` would silently drop one of them."""
+
+    def test_counter_then_child_raises(self):
+        group = StatGroup("g")
+        group.inc("requests")
+        with pytest.raises(ValueError, match="collision"):
+            group.child("requests")
+
+    def test_child_then_inc_raises(self):
+        group = StatGroup("g")
+        group.child("requests").inc("n")
+        with pytest.raises(ValueError, match="collision"):
+            group.inc("requests")
+
+    def test_child_then_set_raises(self):
+        group = StatGroup("g")
+        group.child("requests")
+        with pytest.raises(ValueError, match="collision"):
+            group.set("requests", 5)
+
+    def test_as_dict_never_loses_keys(self):
+        group = StatGroup("g")
+        group.inc("a")
+        group.child("b").inc("x")
+        group.child("b").inc("y")
+        walked = list(group.walk())
+        assert len(walked) == len(group.as_dict()) == 3
+
+    def test_existing_child_lookup_still_works(self):
+        group = StatGroup("g")
+        child = group.child("sub")
+        child.inc("n", 2)
+        assert group.child("sub") is child
+        assert group.as_dict() == {"g.sub.n": 2}

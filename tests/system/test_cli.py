@@ -46,3 +46,37 @@ class TestCli:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestBenchCommand:
+    def test_bench_cold_then_warm(self, tmp_path, capsys):
+        args = ["bench", "--figure", "6", "--scale", "0.25", "--jobs", "2",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "0 hit(s)" in out
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "Figure 6" in warm
+        assert "0 miss(es)" in warm
+
+    def test_bench_clear_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        base = ["bench", "--figure", "6", "--scale", "0.25", "--jobs", "1",
+                "--cache-dir", cache_dir]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--clear-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert "miss(es)" in out and "0 miss(es)" not in out
+
+    def test_bench_no_cache(self, tmp_path, capsys):
+        assert main(["bench", "--figure", "6", "--scale", "0.25",
+                     "--jobs", "1", "--no-cache",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert not (tmp_path / "cache").exists()

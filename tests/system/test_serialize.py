@@ -89,3 +89,29 @@ class TestProperties:
             early_dirty_response=early, llc_writeback=wb,
         )
         assert policy_from_dict(policy_to_dict(policy)) == policy
+
+
+class TestResultRoundTrip:
+    def _result(self):
+        from repro.system.serialize import result_from_dict, result_to_dict
+
+        system = build_system(SystemConfig.small())
+        result = system.run_workload(get_workload("bs"), scale=0.25)
+        return result, result_to_dict, result_from_dict
+
+    def test_round_trip_is_exact(self):
+        result, to_dict, from_dict = self._result()
+        assert from_dict(to_dict(result)) == result
+
+    def test_round_trip_through_json_is_exact(self):
+        import json
+
+        result, to_dict, from_dict = self._result()
+        assert from_dict(json.loads(json.dumps(to_dict(result)))) == result
+
+    def test_unknown_field_rejected(self):
+        result, to_dict, from_dict = self._result()
+        data = to_dict(result)
+        data["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown result fields"):
+            from_dict(data)
