@@ -1,0 +1,269 @@
+"""Simulation-kernel microbenchmarks (the perf-trajectory suite).
+
+Three timed benchmarks plus a machine-speed calibration score:
+
+- ``event_queue`` — raw :class:`~repro.sim.event_queue.EventQueue`
+  throughput: self-rescheduling callbacks through the inner ``run()`` loop.
+- ``network`` — two controllers ping-ponging messages across the star
+  fabric, exercising ``Network.send``, route accounting, and delivery.
+- ``figure_slice`` — one real figure-pipeline cell (cedd on the baseline
+  policy) timed end-to-end, events/sec taken from the event queue itself.
+- ``calibration`` — a fixed pure-Python integer loop, used to normalize
+  events/sec across machines of different speeds (the CI perf gate
+  compares *calibrated* ratios, not absolute numbers).
+
+``run_suite`` returns a JSON-serializable report; ``main`` writes it to
+``BENCH_kernel.json`` (or ``--output``).  The committed ``BENCH_kernel.json``
+at the repo root is the perf-trajectory baseline that CI gates against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.coherence.policies import PRESETS  # noqa: E402
+from repro.sim.clock import ClockDomain  # noqa: E402
+from repro.sim.component import Controller  # noqa: E402
+from repro.sim.event_queue import EventQueue, Simulator  # noqa: E402
+from repro.sim.network import Network  # noqa: E402
+from repro.system.builder import build_system  # noqa: E402
+from repro.system.config import SystemConfig  # noqa: E402
+from repro.workloads.registry import get_workload  # noqa: E402
+
+#: bump when a benchmark's definition changes (invalidates old baselines).
+SUITE_VERSION = 1
+
+
+# -- calibration -----------------------------------------------------------
+
+
+def calibration_score(loops: int = 2_000_000) -> float:
+    """Machine-speed proxy: fixed integer-arithmetic loop, ops/sec."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(loops):
+        acc += i & 0xFFFF
+    elapsed = time.perf_counter() - start
+    assert acc >= 0
+    return loops / elapsed
+
+
+# -- raw event-queue throughput -------------------------------------------
+
+
+def bench_event_queue(num_events: int = 200_000) -> dict:
+    """Self-rescheduling callbacks through ``EventQueue.run``."""
+    queue = EventQueue()
+    remaining = [num_events]
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            queue.schedule_after(7, tick)
+
+    # A modest standing population keeps the heap realistically deep.
+    for lane in range(64):
+        queue.schedule(lane + 1, tick)
+    start = time.perf_counter()
+    queue.run()
+    elapsed = time.perf_counter() - start
+    executed = queue.executed_events
+    return {
+        "events": executed,
+        "seconds": elapsed,
+        "events_per_sec": executed / elapsed,
+    }
+
+
+# -- network send/deliver path --------------------------------------------
+
+
+class _PingPong(Controller):
+    """Echoes every message back to its source until the budget runs out."""
+
+    def __init__(self, sim, name, clock, network):
+        super().__init__(sim, name, clock, service_cycles=1.0)
+        self.network = network
+        self.budget = 0
+
+    def handle_message(self, msg) -> None:
+        if self.budget <= 0:
+            return
+        self.budget -= 1
+        msg.src, msg.dst = msg.dst, msg.src
+        self.network.send(msg)
+
+
+class _BenchMsg:
+    """Minimal duck-typed fabric message (src/dst/category/size_bytes)."""
+
+    __slots__ = ("src", "dst", "category", "size_bytes")
+
+    def __init__(self, src: str, dst: str) -> None:
+        self.src = src
+        self.dst = dst
+        self.category = "request"
+        self.size_bytes = 8
+
+
+def bench_network(num_messages: int = 100_000) -> dict:
+    """Ping-pong messages across the fabric between two controllers."""
+    sim = Simulator()
+    clock = ClockDomain("bench", 1e9)
+    network = Network(sim, clock, default_latency_cycles=10.0)
+    a = _PingPong(sim, "a", clock, network)
+    b = _PingPong(sim, "b", clock, network)
+    network.attach(a, "l2")
+    network.attach(b, "dir")
+    network.set_latency("l2", "dir", 6.0)
+    a.budget = num_messages // 2
+    b.budget = num_messages - num_messages // 2
+    start = time.perf_counter()
+    network.send(_BenchMsg("a", "b"))
+    sim.events.run()
+    elapsed = time.perf_counter() - start
+    sent = int(network.stats["messages"])
+    return {
+        "messages": sent,
+        "events": sim.events.executed_events,
+        "seconds": elapsed,
+        "messages_per_sec": sent / elapsed,
+        "events_per_sec": sim.events.executed_events / elapsed,
+    }
+
+
+# -- a real figure-pipeline slice -----------------------------------------
+
+
+def bench_figure_slice(workload: str = "cedd", policy: str = "baseline",
+                       scale: float = 1.0) -> dict:
+    """One evaluation-matrix cell, timed end-to-end (build excluded)."""
+    system = build_system(SystemConfig.benchmark(policy=PRESETS[policy]))
+    wl = get_workload(workload)
+    start = time.perf_counter()
+    result = system.run_workload(wl, seed=0, scale=scale)
+    elapsed = time.perf_counter() - start
+    events = system.sim.events.executed_events
+    return {
+        "workload": workload,
+        "policy": policy,
+        "scale": scale,
+        "ok": result.ok,
+        "simulated_ticks": result.ticks,
+        "events": events,
+        "seconds": elapsed,
+        "events_per_sec": events / elapsed,
+        "network_messages": result.network_messages,
+    }
+
+
+# -- suite ------------------------------------------------------------------
+
+
+def run_suite(quick: bool = False, repeats: int = 3) -> dict:
+    """Run every benchmark ``repeats`` times and keep the best run.
+
+    Best-of-N damps scheduler noise; ``quick`` shrinks the workloads for
+    smoke runs (CI, pytest) without changing what is exercised.
+    """
+    eq_n = 40_000 if quick else 200_000
+    net_n = 20_000 if quick else 100_000
+    slice_scale = 0.25 if quick else 1.0
+
+    def best(fn, *args, key: str):
+        runs = [fn(*args) for _ in range(repeats)]
+        return max(runs, key=lambda r: r[key])
+
+    report = {
+        "suite_version": SUITE_VERSION,
+        "quick": quick,
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "calibration_ops_per_sec": calibration_score(),
+        "benchmarks": {
+            "event_queue": best(bench_event_queue, eq_n, key="events_per_sec"),
+            "network": best(bench_network, net_n, key="messages_per_sec"),
+            "figure_slice": best(
+                bench_figure_slice, "cedd", "baseline", slice_scale,
+                key="events_per_sec",
+            ),
+        },
+    }
+    cal = report["calibration_ops_per_sec"]
+    for name, bench in report["benchmarks"].items():
+        bench["calibrated_score"] = bench["events_per_sec"] / cal
+    return report
+
+
+def gate(fresh: dict, baseline: dict, tolerance: float = 0.30) -> list[str]:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  Scores are
+    calibration-normalized so a slower CI machine does not trip the gate;
+    a benchmark fails when its calibrated events/sec drops more than
+    ``tolerance`` below the baseline's.
+    """
+    failures: list[str] = []
+    if baseline.get("suite_version") != fresh.get("suite_version"):
+        return [
+            "suite_version mismatch "
+            f"(baseline {baseline.get('suite_version')} vs "
+            f"fresh {fresh.get('suite_version')}); re-seed BENCH_kernel.json"
+        ]
+    for name, base in baseline["benchmarks"].items():
+        now = fresh["benchmarks"].get(name)
+        if now is None:
+            failures.append(f"{name}: missing from fresh report")
+            continue
+        floor = base["calibrated_score"] * (1.0 - tolerance)
+        if now["calibrated_score"] < floor:
+            failures.append(
+                f"{name}: calibrated score {now['calibrated_score']:.4f} "
+                f"< floor {floor:.4f} "
+                f"(baseline {base['calibrated_score']:.4f}, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_kernel.json"),
+                        help="where to write the report")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (CI smoke)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--gate", metavar="BASELINE_JSON", default=None,
+                        help="compare against a committed baseline report "
+                             "and exit non-zero on >30%% regression")
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick, repeats=args.repeats)
+    pathlib.Path(args.output).write_text(json.dumps(report, indent=1) + "\n")
+    for name, bench in report["benchmarks"].items():
+        print(f"{name:<14} {bench['events_per_sec']:>12,.0f} events/s "
+              f"(calibrated {bench['calibrated_score']:.4f})")
+    print(f"report written to {args.output}")
+
+    if args.gate:
+        baseline = json.loads(pathlib.Path(args.gate).read_text())
+        failures = gate(report, baseline, tolerance=args.tolerance)
+        if failures:
+            print("\nPERF GATE FAILED:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

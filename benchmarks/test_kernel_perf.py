@@ -1,0 +1,72 @@
+"""Kernel microbenchmark suite (perf trajectory).
+
+Times the simulation kernel three ways — raw event-queue dispatch, the
+fabric message path, and one real figure-pipeline cell — and emits
+``BENCH_kernel.json`` at the repo root (override with ``$REPRO_BENCH_OUT``).
+The committed ``BENCH_kernel.json`` is the perf-trajectory baseline; the CI
+perf-smoke job re-runs this suite and fails on a >30% calibrated
+events/sec regression (see ``benchmarks/kernel_perf.py --gate``).
+
+Quick mode (``REPRO_BENCH_QUICK=1``, used by CI) shrinks the workloads but
+exercises the same code paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+from kernel_perf import REPO_ROOT, gate, run_suite  # noqa: E402
+
+_QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+
+
+@pytest.fixture(scope="module")
+def report() -> dict:
+    result = run_suite(quick=_QUICK, repeats=2 if _QUICK else 3)
+    out = pathlib.Path(os.environ.get("REPRO_BENCH_OUT",
+                                      REPO_ROOT / "BENCH_kernel.json"))
+    out.write_text(json.dumps(result, indent=1) + "\n")
+    print(f"\nkernel perf report written to {out}")
+    for name, bench in result["benchmarks"].items():
+        print(f"  {name:<14} {bench['events_per_sec']:>12,.0f} events/s "
+              f"(calibrated {bench['calibrated_score']:.4f})")
+    return result
+
+
+def test_event_queue_throughput_is_sane(report):
+    bench = report["benchmarks"]["event_queue"]
+    assert bench["events"] > 0
+    # even a slow CI box dispatches well over 100k closure events/sec
+    assert bench["events_per_sec"] > 100_000
+
+
+def test_network_path_throughput_is_sane(report):
+    bench = report["benchmarks"]["network"]
+    assert bench["messages"] > 0
+    assert bench["messages_per_sec"] > 10_000
+    # every message costs exactly two events: delivery + serialized handling
+    assert bench["events"] == pytest.approx(2 * bench["messages"], rel=0.01)
+
+
+def test_figure_slice_runs_and_reports_events(report):
+    bench = report["benchmarks"]["figure_slice"]
+    assert bench["ok"], "figure-pipeline cell failed its functional checks"
+    assert bench["events"] > 1_000
+    assert bench["simulated_ticks"] > 0
+    assert bench["network_messages"] > 0
+
+
+def test_report_is_gateable(report):
+    """The emitted report must round-trip through the CI perf gate."""
+    assert gate(report, report) == []  # identical report always passes
+    slower = json.loads(json.dumps(report))
+    for bench in slower["benchmarks"].values():
+        bench["calibrated_score"] *= 0.5  # a 2x regression must fail
+    assert gate(slower, report) != []

@@ -106,6 +106,24 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--timeout", type=float, default=None, metavar="S",
                          help="per-cell wall-clock timeout in seconds")
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="profile one workload run: cProfile hot functions plus "
+             "per-component / per-category event and message accounting",
+    )
+    prof_p.add_argument("workload", choices=available_workloads())
+    prof_p.add_argument("--policy", default="baseline", choices=sorted(PRESETS))
+    prof_p.add_argument("--config", default="benchmark", choices=sorted(CONFIGS))
+    prof_p.add_argument("--scale", type=float, default=1.0)
+    prof_p.add_argument("--seed", type=int, default=0)
+    prof_p.add_argument("--sort", default="tottime",
+                        choices=["tottime", "cumulative", "ncalls"],
+                        help="cProfile sort order")
+    prof_p.add_argument("--limit", type=_positive_int, default=20,
+                        help="rows per report section")
+    prof_p.add_argument("--pstats-out", metavar="FILE", default=None,
+                        help="also dump raw cProfile data for snakeviz/pstats")
+
     val_p = sub.add_parser("validate",
                            help="check every headline claim (scorecard)")
     val_p.add_argument("--scale", type=float, default=1.0)
@@ -246,6 +264,79 @@ def _bench(args) -> int:
     return 0
 
 
+def _profile(args) -> int:
+    """Run one cell under cProfile and print a kernel-centric report."""
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    config = CONFIGS[args.config](policy=PRESETS[args.policy])
+    system = build_system(config)
+    workload = get_workload(args.workload)
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = system.run_workload(workload, seed=args.seed, scale=args.scale)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    events = system.sim.events.executed_events
+    print(f"workload          {result.workload} (policy {args.policy}, "
+          f"scale {args.scale})")
+    print(f"wall clock        {elapsed:.3f} s")
+    print(f"executed events   {events:,}  ({events / elapsed:,.0f} events/s)")
+    print(f"simulated ticks   {result.ticks:,} "
+          f"({result.cycles:,.0f} cpu cycles)")
+
+    # -- per-category message accounting (from the fabric's own stats) ----
+    net = system.network.stats
+    total_msgs = net["messages"]
+    print(f"\nfabric messages   {int(total_msgs):,} "
+          f"({int(net['bytes']):,} bytes)")
+    categories = sorted(
+        (key.split(".", 1)[1], value)
+        for key, value in net.counters().items()
+        if key.startswith("messages.")
+    )
+    for category, count in categories:
+        share = 100.0 * count / total_msgs if total_msgs else 0.0
+        print(f"  {category:<12} {int(count):>10,}  ({share:5.1f}%)")
+    routes = sorted(net.child("routes").counters().items(),
+                    key=lambda kv: -kv[1])[:args.limit]
+    if routes:
+        print("top routes")
+        for route, count in routes:
+            print(f"  {route:<12} {int(count):>10,}")
+
+    # -- per-component event/message accounting ---------------------------
+    rows = []
+    for component in system.sim.components:
+        stats = getattr(component, "stats", None)
+        if stats is None:
+            continue
+        received = stats["messages_received"]
+        waited = stats["queue_wait_ticks"]
+        if received or waited:
+            rows.append((component.name, int(received), int(waited)))
+    rows.sort(key=lambda row: -row[1])
+    print("\nbusiest controllers (messages received / queue-wait ticks)")
+    for name, received, waited in rows[:args.limit]:
+        print(f"  {name:<16} {received:>10,}  {waited:>12,}")
+
+    # -- cProfile hot functions -------------------------------------------
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(args.sort).print_stats(args.limit)
+    print(f"\nhot functions (cProfile, by {args.sort})")
+    print(buffer.getvalue())
+    if args.pstats_out:
+        stats.dump_stats(args.pstats_out)
+        print(f"raw profile written to {args.pstats_out}")
+    return 0 if result.ok else 1
+
+
 def _validate(args) -> int:
     from repro.analysis.validate import build_scorecard, scorecard_text
 
@@ -276,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
         return _figures(args)
     if args.command == "bench":
         return _bench(args)
+    if args.command == "profile":
+        return _profile(args)
     if args.command == "validate":
         return _validate(args)
     return _list()

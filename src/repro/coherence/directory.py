@@ -169,7 +169,7 @@ class DirectoryController(Controller):
         txn = Transaction(msg)
         txn.started_at = self.now
         self._active[msg.addr] = txn
-        self.schedule(self.latency_cycles, lambda: self._launch(txn))
+        self.schedule(self.latency_cycles, self._launch, arg=txn)
 
     # -- transaction launch ------------------------------------------------------
 

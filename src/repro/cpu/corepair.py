@@ -55,6 +55,10 @@ class CpuRequest:
     compare: int = 0
 
 
+#: per-kind stat counter names, prebuilt so ``access`` never formats one.
+_OPS_KEY = {kind: f"ops.{kind}" for kind in ("load", "store", "atomic", "ifetch")}
+
+
 @dataclass
 class _Mshr:
     kind: str  # "r" | "w" | "i"
@@ -111,12 +115,17 @@ class CorePair(Controller):
         incoming probe traffic on the shared L2 controller."""
         if slot not in (0, 1):
             raise CorePairError(f"bad core slot {slot}")
-        self.stats.inc(f"ops.{request.kind}")
+        kind = request.kind
+        self.stats.inc(_OPS_KEY.get(kind) or f"ops.{kind}")
         start = max(self.now, self._next_free)
         self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
-        self.sim.events.schedule(start, lambda: self._execute(slot, request, callback))
+        self.sim.events.schedule(start, self._execute_queued, 0, (slot, request, callback))
 
     # -- execution ---------------------------------------------------------------
+
+    def _execute_queued(self, queued: tuple) -> None:
+        """Event-queue shim: unpack a queued ``(slot, request, callback)``."""
+        self._execute(*queued)
 
     def _execute(self, slot: int, request: CpuRequest, callback: Callable) -> None:
         line = line_addr(request.addr)

@@ -19,7 +19,7 @@ from repro.mem.replacement import ReplacementPolicy, TreePLRU, preferred_order
 class CacheLine:
     """One way of one set."""
 
-    __slots__ = ("valid", "addr", "state", "data", "dirty", "meta")
+    __slots__ = ("valid", "addr", "state", "data", "dirty", "meta", "set_idx", "way")
 
     def __init__(self) -> None:
         self.valid = False
@@ -28,6 +28,10 @@ class CacheLine:
         self.data: LineData | None = None
         self.dirty = False
         self.meta: Any = None
+        # geometry position, assigned once when the array is built (-1 for
+        # detached snapshots); lets ``touch`` skip the per-access way scan.
+        self.set_idx = -1
+        self.way = -1
 
     def reset(self) -> None:
         self.valid = False
@@ -64,6 +68,10 @@ class CacheArray:
         self.num_sets = num_sets
         self.ways = ways
         self._sets = [[CacheLine() for _ in range(ways)] for _ in range(num_sets)]
+        for set_idx, set_ways in enumerate(self._sets):
+            for way, line in enumerate(set_ways):
+                line.set_idx = set_idx
+                line.way = way
         self._repl = [repl(ways) for _ in range(num_sets)]
         self._index: dict[int, CacheLine] = {}
 
@@ -96,9 +104,7 @@ class CacheArray:
         return line
 
     def touch(self, line: CacheLine) -> None:
-        index = self.set_index(line.addr)
-        way = self._sets[index].index(line)
-        self._repl[index].touch(way)
+        self._repl[line.set_idx].touch(line.way)
 
     # -- allocation -------------------------------------------------------
 

@@ -66,12 +66,12 @@ class MainMemory(Component):
         start = self._claim_channel()
         finish = start + self.clock.cycles_to_ticks(self.latency_cycles)
         self._outstanding += 1
+        self.sim.events.schedule(finish, self._complete_read, 0, (addr, callback))
 
-        def complete() -> None:
-            self._outstanding -= 1
-            callback(self._store.get(addr, ZERO_LINE))
-
-        self.sim.events.schedule(finish, complete)
+    def _complete_read(self, queued: tuple) -> None:
+        addr, callback = queued
+        self._outstanding -= 1
+        callback(self._store.get(addr, ZERO_LINE))
 
     def write(
         self,

@@ -34,7 +34,11 @@ def _category(mtype: MsgType) -> str:
     return "response"
 
 
-@dataclass
+#: category is fixed per message type; the fabric reads it once per send.
+_CATEGORY_OF = {mtype: _category(mtype) for mtype in MsgType}
+
+
+@dataclass(slots=True)
 class Message:
     mtype: MsgType
     src: str
@@ -67,7 +71,7 @@ class Message:
 
     @property
     def category(self) -> str:
-        return _category(self.mtype)
+        return _CATEGORY_OF[self.mtype]
 
     @property
     def size_bytes(self) -> int:

@@ -18,16 +18,40 @@ class ClockDomain:
     level of this model.
     """
 
+    #: cap on the fractional-cycle memo table (guards pathological callers
+    #: that convert unbounded distinct float values).
+    _MEMO_LIMIT = 4096
+
     def __init__(self, name: str, freq_hz: float) -> None:
         if freq_hz <= 0:
             raise ValueError(f"clock frequency must be positive, got {freq_hz}")
         self.name = name
         self.freq_hz = freq_hz
         self.period_ticks = max(1, round(1e12 / freq_hz))
+        self._tick_memo: dict[float, int] = {}
 
     def cycles_to_ticks(self, cycles: float) -> int:
-        """Convert a (possibly fractional) cycle count to whole ticks."""
-        return max(0, round(cycles * self.period_ticks))
+        """Convert a (possibly fractional) cycle count to whole ticks.
+
+        Integer cycle counts — the overwhelmingly common case on the hot
+        path — take an exact multiply with no float round-trip.  Fractional
+        counts are memoized: simulations convert the same handful of
+        configured latencies millions of times, and ``round()`` plus the
+        float multiply dominated the old profile.  Both paths return
+        bit-identical results to ``max(0, round(cycles * period_ticks))``.
+        """
+        if type(cycles) is int:
+            # exact: int * int cannot round, and round(n) == n
+            return cycles * self.period_ticks if cycles > 0 else 0
+        memo = self._tick_memo
+        ticks = memo.get(cycles)
+        if ticks is None:
+            ticks = round(cycles * self.period_ticks)
+            if ticks < 0:
+                ticks = 0
+            if len(memo) < self._MEMO_LIMIT:
+                memo[cycles] = ticks
+        return ticks
 
     def ticks_to_cycles(self, ticks: int) -> float:
         return ticks / self.period_ticks

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.clock import ClockDomain
+from repro.sim.event_queue import _NO_ARG
 from repro.sim.stats import StatGroup
 
 if TYPE_CHECKING:
@@ -29,10 +30,19 @@ class Component:
     def now(self) -> int:
         return self.sim.now
 
-    def schedule(self, delay_cycles: float, callback: Callable[[], None], priority: int = 0) -> None:
-        """Run ``callback`` after ``delay_cycles`` of this component's clock."""
-        self.sim.events.schedule_after(
-            self.clock.cycles_to_ticks(delay_cycles), callback, priority
+    def schedule(
+        self,
+        delay_cycles: float,
+        callback: Callable,
+        priority: int = 0,
+        arg: object = _NO_ARG,
+    ) -> None:
+        """Run ``callback`` (or ``callback(arg)``) after ``delay_cycles`` of
+        this component's clock."""
+        events = self.sim.events
+        events.schedule(
+            events.now + self.clock.cycles_to_ticks(delay_cycles),
+            callback, priority, arg,
         )
 
     def pending_work(self) -> str | None:
@@ -64,14 +74,23 @@ class Controller(Component):
         self._next_free = 0
 
     def deliver(self, msg: Any) -> None:
-        """Accept a message from the network; called at arrival time."""
-        start = max(self.now, self._next_free)
+        """Accept a message from the network; called at arrival time.
+
+        Runs once per received message, so the occupancy update uses the
+        memoized tick conversion and ``handle_message`` is scheduled with
+        the event queue's ``(callback, arg)`` form instead of a closure.
+        """
+        now = self.sim.events.now
+        start = self._next_free
+        if start < now:
+            start = now
+        else:
+            busy = start - now
+            if busy:
+                self.stats.inc("queue_wait_ticks", busy)
         self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
-        busy = start - self.now
-        if busy:
-            self.stats.inc("queue_wait_ticks", busy)
         self.stats.inc("messages_received")
-        self.sim.events.schedule(start, lambda m=msg: self.handle_message(m))
+        self.sim.events.schedule(start, self.handle_message, 0, msg)
 
     def handle_message(self, msg: Any) -> None:
         raise NotImplementedError(f"{type(self).__name__} must implement handle_message")

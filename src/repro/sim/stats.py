@@ -14,6 +14,8 @@ from typing import Iterator
 class StatGroup:
     """A named bag of counters and child groups."""
 
+    __slots__ = ("name", "_counters", "_children")
+
     def __init__(self, name: str) -> None:
         self.name = name
         self._counters: dict[str, int | float] = {}
@@ -22,12 +24,23 @@ class StatGroup:
     # -- counters ---------------------------------------------------------
 
     def inc(self, counter: str, amount: int | float = 1) -> None:
-        """Increment ``counter`` by ``amount`` (creating it at zero)."""
-        self._reserve_counter(counter)
-        self._counters[counter] = self._counters.get(counter, 0) + amount
+        """Increment ``counter`` by ``amount`` (creating it at zero).
+
+        The existing-counter path is the kernel's hottest stats operation,
+        so the child-group collision check runs only at counter creation —
+        once a name is in ``_counters`` it cannot also be a child (both
+        creation paths validate), making the recheck redundant.
+        """
+        counters = self._counters
+        if counter in counters:
+            counters[counter] += amount
+        else:
+            self._reserve_counter(counter)
+            counters[counter] = amount
 
     def set(self, counter: str, value: int | float) -> None:
-        self._reserve_counter(counter)
+        if counter not in self._counters:
+            self._reserve_counter(counter)
         self._counters[counter] = value
 
     def _reserve_counter(self, counter: str) -> None:

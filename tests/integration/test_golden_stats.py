@@ -1,0 +1,93 @@
+"""Golden bit-identity regression for the simulation kernel.
+
+Kernel optimizations (event-queue rewrites, route precomputation, stats
+fast paths, tick-conversion memoization, ...) must never change *simulated*
+results.  This test runs three small figure-pipeline cells — covering the
+baseline, sharer-tracking, and llcWB+useL3OnWT policies — and compares the
+complete ``StatGroup.as_dict()`` dump plus every headline metric against a
+snapshot committed before the PR-2 hot-path optimization.
+
+If this fails, an optimization changed simulated behaviour: that is a bug
+in the optimization, not a reason to regenerate the snapshot.  Regenerate
+(`python tests/integration/test_golden_stats.py`) only for intentional
+*model* changes, and say so in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.coherence.policies import PRESETS
+from repro.system.builder import build_system
+from repro.system.config import SystemConfig
+from repro.workloads.registry import get_workload
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_kernel_stats.json"
+GOLDEN_SCALE = 0.25
+GOLDEN_SEED = 0
+CELLS = [("cedd", "baseline"), ("sc", "sharers"), ("tq", "llcWB+useL3OnWT")]
+
+
+def _run_cell(workload: str, policy: str) -> dict:
+    system = build_system(SystemConfig.benchmark(policy=PRESETS[policy]))
+    result = system.run_workload(
+        get_workload(workload), seed=GOLDEN_SEED, scale=GOLDEN_SCALE
+    )
+    assert result.ok, result.check_errors
+    return {
+        "ticks": result.ticks,
+        "cycles": result.cycles,
+        "dir_probes": result.dir_probes,
+        "mem_reads": result.mem_reads,
+        "mem_writes": result.mem_writes,
+        "network_messages": result.network_messages,
+        "network_bytes": result.network_bytes,
+        "llc_hits": result.llc_hits,
+        "llc_misses": result.llc_misses,
+        "stats": result.stats,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("workload,policy", CELLS,
+                         ids=[f"{w}-{p}" for w, p in CELLS])
+def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
+    expected = golden[f"{workload}/{policy}"]
+    actual = _run_cell(workload, policy)
+
+    expected_stats = expected["stats"]
+    actual_stats = actual["stats"]
+    missing = sorted(set(expected_stats) - set(actual_stats))
+    extra = sorted(set(actual_stats) - set(expected_stats))
+    assert not missing and not extra, (
+        f"stat keys drifted: missing={missing[:10]} extra={extra[:10]}"
+    )
+    drifted = {
+        key: (expected_stats[key], actual_stats[key])
+        for key in expected_stats
+        if actual_stats[key] != expected_stats[key]
+    }
+    assert not drifted, f"stat values drifted: {dict(list(drifted.items())[:10])}"
+
+    for field in ("ticks", "cycles", "dir_probes", "mem_reads", "mem_writes",
+                  "network_messages", "network_bytes", "llc_hits", "llc_misses"):
+        assert actual[field] == expected[field], (
+            f"{field}: golden {expected[field]} != actual {actual[field]}"
+        )
+
+
+def _regenerate() -> None:  # pragma: no cover - manual tool
+    snapshot = {f"{w}/{p}": _run_cell(w, p) for w, p in CELLS}
+    GOLDEN_PATH.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    print(f"rewrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _regenerate()

@@ -42,3 +42,46 @@ class TestClockDomain:
 
     def test_repr_mentions_frequency(self):
         assert "3.5 GHz" in repr(ClockDomain("cpu", 3.5e9))
+
+
+class TestCyclesToTicksFastPaths:
+    """The integer fast path and the fractional memo must be bit-identical
+    to the original ``max(0, round(cycles * period_ticks))`` formula."""
+
+    CLOCKS = [1e9, 2e9, 3.5e9, 1.1e9, 1.6e9, 0.75e9]
+
+    def test_integer_cycles_match_reference_formula(self):
+        for freq in self.CLOCKS:
+            clock = ClockDomain("x", freq)
+            for cycles in [0, 1, 2, 3, 7, 10, 100, 12345, -1, -50]:
+                expected = max(0, round(cycles * clock.period_ticks))
+                assert clock.cycles_to_ticks(cycles) == expected, (freq, cycles)
+
+    def test_fractional_cycle_rounding_unchanged(self):
+        for freq in self.CLOCKS:
+            clock = ClockDomain("x", freq)
+            for cycles in [0.5, 1.5, 2.5, 0.0005, 0.0015, 0.1, 0.25,
+                           1 / 3, 2 / 3, 9.99, 10.01, 1e-15, -0.5]:
+                expected = max(0, round(cycles * clock.period_ticks))
+                assert clock.cycles_to_ticks(cycles) == expected, (freq, cycles)
+
+    def test_bankers_rounding_preserved(self):
+        # period 1000: exact half-tick cases hit round-half-to-even
+        clock = ClockDomain("x", 1e9)
+        assert clock.cycles_to_ticks(0.0005) == 0  # round(0.5) == 0
+        assert clock.cycles_to_ticks(0.0015) == 2  # round(1.5) == 2
+        assert clock.cycles_to_ticks(0.0025) == 2  # round(2.5) == 2
+
+    def test_memoized_value_is_stable(self):
+        clock = ClockDomain("x", 3.5e9)
+        first = clock.cycles_to_ticks(2.5)
+        assert clock.cycles_to_ticks(2.5) == first  # served from the memo
+
+    def test_memo_respects_size_cap(self):
+        clock = ClockDomain("x", 1e9)
+        clock._MEMO_LIMIT = 4
+        for i in range(100):
+            clock.cycles_to_ticks(i + 0.5)
+        assert len(clock._tick_memo) <= 4
+        # values beyond the cap are still computed correctly
+        assert clock.cycles_to_ticks(1000.5) == round(1000.5 * clock.period_ticks)

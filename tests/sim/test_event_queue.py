@@ -89,6 +89,69 @@ class TestEventQueue:
         queue.run()
         assert queue.executed_events == 5
 
+    def test_executed_event_count_exact_when_callback_raises(self):
+        queue = EventQueue()
+        queue.schedule(1, lambda: None)
+
+        def boom():
+            raise RuntimeError("boom")
+
+        queue.schedule(2, boom)
+        queue.schedule(3, lambda: None)
+        with pytest.raises(RuntimeError):
+            queue.run()
+        assert queue.executed_events == 2  # the raising event still counts
+
+
+class TestArgScheduling:
+    """``schedule(when, callback, arg=x)`` runs ``callback(x)`` — the
+    closure-free form used by hot paths like ``Network.send``."""
+
+    def test_arg_is_passed_to_callback(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5, seen.append, arg="payload")
+        queue.run()
+        assert seen == ["payload"]
+
+    def test_none_is_a_valid_arg(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5, seen.append, arg=None)
+        queue.run()
+        assert seen == [None]
+
+    def test_schedule_after_passes_arg(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(10, lambda: queue.schedule_after(5, seen.append, arg="x"))
+        queue.run()
+        assert seen == ["x"]
+        assert queue.now == 15
+
+    def test_arg_and_closure_events_interleave_deterministically(self):
+        queue = EventQueue()
+        order = []
+        queue.schedule(5, order.append, arg="arg-form")
+        queue.schedule(5, lambda: order.append("closure-form"))
+        queue.schedule(5, order.append, priority=-1, arg="high-priority")
+        queue.run()
+        assert order == ["high-priority", "arg-form", "closure-form"]
+
+    def test_pop_and_run_handles_arg_events(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(1, seen.append, arg=42)
+        queue.pop_and_run()
+        assert seen == [42]
+        assert queue.executed_events == 1
+
+    def test_schedule_after_negative_delay_raises(self):
+        queue = EventQueue()
+        queue.schedule(10, lambda: queue.schedule_after(-5, lambda: None))
+        with pytest.raises(SimulationError):
+            queue.run()
+
 
 class TestSimulator:
     def test_run_returns_final_time(self):

@@ -96,6 +96,45 @@ class TestNetwork:
         assert network.endpoints_of_kind("none") == []
 
 
+class TestRouteCacheInvalidation:
+    """The precomputed per-(src, dst) route table must refresh whenever the
+    topology or latency table changes — even after messages already flew."""
+
+    def test_set_latency_after_sends_takes_effect(self, sim, fabric):
+        network, _a, b = fabric
+        network.send(FakeMsg("a", "b"))  # primes the route cache (default 10)
+        sim.run()
+        network.set_latency("l2", "dir", 3)
+        network.send(FakeMsg("a", "b"))
+        sim.run()
+        assert [t for t, _ in b.received] == [10_000, 13_000]
+
+    def test_attach_after_sends_is_routable(self, sim, clock, fabric):
+        network, _a, b = fabric
+        network.send(FakeMsg("a", "b"))
+        sim.run()
+        late = Sink(sim, "late", clock)
+        network.attach(late, kind="tcc")
+        network.set_latency("l2", "tcc", 2)
+        network.send(FakeMsg("a", "late"))
+        sim.run()
+        assert len(b.received) == 1
+        assert late.received[0][0] == 10_000 + 2_000
+
+    def test_cached_route_error_still_mentions_message(self, fabric):
+        network, _a, _b = fabric
+        network.send(FakeMsg("a", "b"))  # cache the good route
+        with pytest.raises(SimulationError, match="unknown network endpoint.*nope"):
+            network.send(FakeMsg("a", "nope"))
+
+    def test_route_delay_is_integer_ticks(self, sim, fabric):
+        network, _a, _b = fabric
+        network.send(FakeMsg("a", "b"))
+        route = network._routes[("a", "b")]
+        assert isinstance(route.delay_ticks, int)
+        assert route.delay_ticks == 10_000
+
+
 class TestControllerSerialization:
     def test_back_to_back_messages_serialize(self, sim, clock):
         network = Network(sim, clock, default_latency_cycles=0)

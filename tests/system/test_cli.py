@@ -39,6 +39,24 @@ class TestCli:
         assert "baseline" in out and "owner" in out
         assert "speedup %" in out
 
+    def test_profile(self, capsys, tmp_path):
+        pstats_out = tmp_path / "profile.pstats"
+        code = main(["profile", "bs", "--config", "small", "--scale", "0.25",
+                     "--limit", "5", "--pstats-out", str(pstats_out)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "executed events" in out
+        assert "fabric messages" in out
+        assert "busiest controllers" in out
+        assert "hot functions" in out
+        assert pstats_out.exists()
+
+    def test_profile_sort_options(self, capsys):
+        code = main(["profile", "bs", "--config", "small", "--scale", "0.25",
+                     "--sort", "cumulative", "--limit", "3"])
+        assert code == 0
+        assert "cumulative" in capsys.readouterr().out
+
     def test_unknown_workload_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "nonexistent"])
