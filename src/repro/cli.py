@@ -8,6 +8,8 @@ Subcommands:
 - ``figures`` — regenerate the paper's figures (Figures 4-7 + tables).
 - ``bench`` — regenerate figures through the parallel runner with the
   persistent result cache (``--jobs``, ``--no-cache``, ``--clear-cache``).
+- ``lint-protocol`` — statically lint every shipped transition table
+  (unhandled pairs, unreachable states, dead transitions).
 - ``list`` — list bundled workloads and policy presets.
 """
 
@@ -123,6 +125,14 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="rows per report section")
     prof_p.add_argument("--pstats-out", metavar="FILE", default=None,
                         help="also dump raw cProfile data for snakeviz/pstats")
+
+    lint_p = sub.add_parser(
+        "lint-protocol",
+        help="statically check every shipped transition table: unhandled "
+             "(state, event) pairs, unreachable states, dead transitions",
+    )
+    lint_p.add_argument("--describe", action="store_true",
+                        help="also print each table's declared transitions")
 
     val_p = sub.add_parser("validate",
                            help="check every headline claim (scorecard)")
@@ -337,6 +347,19 @@ def _profile(args) -> int:
     return 0 if result.ok else 1
 
 
+def _lint_protocol(args) -> int:
+    from repro.coherence.lint import lint_tables, shipped_tables
+
+    tables = shipped_tables()
+    if args.describe:
+        for table in dict.fromkeys(tables.values()):
+            print(table.describe())
+            print()
+    text, clean = lint_tables(tables)
+    print(text)
+    return 0 if clean else 1
+
+
 def _validate(args) -> int:
     from repro.analysis.validate import build_scorecard, scorecard_text
 
@@ -369,6 +392,8 @@ def main(argv: list[str] | None = None) -> int:
         return _bench(args)
     if args.command == "profile":
         return _profile(args)
+    if args.command == "lint-protocol":
+        return _lint_protocol(args)
     if args.command == "validate":
         return _validate(args)
     return _list()

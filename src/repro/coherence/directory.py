@@ -7,17 +7,27 @@ LLC/memory in parallel, and only responds once **all** probe acks and the
 data response have returned (Figure 2's ``*_PM`` states).  Victims write
 both the LLC and memory (write-through LLC).
 
-The §III optimizations are policy knobs on this same engine
-(:class:`~repro.coherence.policies.DirectoryPolicy`):
+The per-transaction state machine is *declared* as a
+:class:`~repro.coherence.engine.TransitionTable` over Figure 2's states —
+``U`` plus the blocked states named by what the transaction still awaits
+(``B``, ``B_P``, ``B_M``, ``B_PM``, and their ``..U`` unblock variants; see
+:attr:`~repro.coherence.transactions.Transaction.blocked_on`).  Every
+protocol event dispatches through the transaction's
+:class:`~repro.coherence.engine.ProtocolFSM`, which enforces that the state
+reached matches the declared table (see ``repro lint-protocol``).
 
-- ``early_dirty_response`` (§III-A) responds to the requester from the
-  first dirty probe ack, for downgrade probes only.
-- ``clean_victims_to_memory=False`` (§III-B) skips the memory write for
-  clean victims; ``clean_victims_to_llc=False`` (§III-B1) drops them
-  entirely.
-- ``llc_writeback`` (§III-C) makes all victims LLC-only, with the LLC dirty
-  bit deferring memory writes to LLC eviction; ``use_l3_on_wt`` routes GPU
-  write-throughs/atomics into the LLC as well.
+The §III optimizations are policy knobs
+(:class:`~repro.coherence.policies.DirectoryPolicy`) expressed as *table
+overlays* by :func:`build_directory_table`:
+
+- ``early_dirty_response`` (§III-A) adds the ``B_PU``/``B_PMU`` states —
+  responded while probes are still outstanding — reachable only under this
+  overlay.
+- ``clean_victims_to_memory=False`` (§III-B), ``clean_victims_to_llc=False``
+  (§III-B1) and ``llc_writeback`` (§III-C) swap the action bound to the
+  victim-commit transition ``(B, Commit)``.
+- ``use_l3_on_wt`` routes GPU write-throughs/atomics into the LLC (an
+  action-level knob inside the WT/Atomic commit helpers).
 
 The §IV precise directory subclasses this engine and overrides the
 *planning* hooks (:meth:`plan_request`, :meth:`grant_state`,
@@ -31,6 +41,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.coherence.engine import ProtocolError, ProtocolFSM, TransitionTable
 from repro.coherence.llc import LastLevelCache
 from repro.coherence.policies import DirectoryPolicy
 from repro.coherence.transactions import Transaction
@@ -41,15 +52,17 @@ from repro.protocol.messages import Message
 from repro.protocol.types import MoesiState, MsgType, ProbeType, RequesterKind
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Controller
-from repro.sim.event_queue import SimulationError
 
 if TYPE_CHECKING:
     from repro.sim.event_queue import Simulator
     from repro.sim.network import Network
 
-
-class ProtocolError(SimulationError):
-    """An illegal message or transition reached the directory."""
+__all__ = [
+    "DirectoryController", "ProtocolError", "RequestPlan",
+    "build_directory_table",
+    "EV_LAUNCH", "EV_LLC_DATA", "EV_MEM_DATA", "EV_PROBE_ACK", "EV_UNBLOCK",
+    "EV_COMMIT", "EV_DIR_EVICT", "REQUEST_EVENTS",
+]
 
 
 def _apply_words(data: LineData, updates: dict[int, int] | None) -> LineData:
@@ -78,6 +91,34 @@ _DATA_REQUESTS = frozenset(
     {MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM, MsgType.DMA_RD, MsgType.ATOMIC}
 )
 
+# -- Figure 2 events ---------------------------------------------------------
+
+#: the ten fabric request types, by their MsgType value
+REQUEST_EVENTS = tuple(
+    m.value for m in (
+        MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM,
+        MsgType.VIC_DIRTY, MsgType.VIC_CLEAN,
+        MsgType.WT, MsgType.ATOMIC, MsgType.FLUSH,
+        MsgType.DMA_RD, MsgType.DMA_WR,
+    )
+)
+EV_LAUNCH = "Launch"        #: directory pipeline latency elapsed
+EV_LLC_DATA = "LlcData"     #: the LLC lookup completed (hit or miss)
+EV_MEM_DATA = "MemData"     #: the memory read returned
+EV_PROBE_ACK = MsgType.PROBE_ACK.value
+EV_UNBLOCK = MsgType.UNBLOCK.value
+EV_COMMIT = "Commit"        #: a victim write reached its LLC commit point
+EV_DIR_EVICT = "DirEvict"   #: precise only: a directory-entry eviction begins
+
+_BLOCKED_BASE = ("B", "B_P", "B_M", "B_U", "B_PM", "B_MU")
+_BLOCKED_EARLY = ("B_PU", "B_PMU")
+
+OVL_EARLY = "earlyDirtyResp (§III-A)"
+OVL_NO_CLEAN_MEM = "noWBcleanVic (§III-B)"
+OVL_DROP_CLEAN = "noCleanVicToLLC (§III-B1)"
+OVL_LLC_WB = "llcWB (§III-C)"
+OVL_CONSERVATIVE_VIC = "conservative VicDirty (§VII)"
+
 
 class DirectoryController(Controller):
     """Baseline stateless system-level directory backed by the LLC."""
@@ -102,6 +143,7 @@ class DirectoryController(Controller):
         self.memory = memory
         self.policy = policy or DirectoryPolicy()
         self.latency_cycles = latency_cycles
+        self.fsm_table = build_directory_table(self.policy, precise=False)
         self._active: dict[int, Transaction] = {}
         self._waiting: dict[int, deque[Message]] = {}
         #: per line: caches whose next Vic* must be dropped because a
@@ -112,11 +154,6 @@ class DirectoryController(Controller):
         self._admission: deque[Message] = deque()
         self._l2_names: list[str] | None = None
         self._tcc_names: list[str] | None = None
-        #: verification hook: called with (self, addr) when a transaction
-        #: completes.  Installed by repro.verify.
-        self.on_transaction_complete: Callable[["DirectoryController", int], None] | None = None
-        #: optional ProtocolTrace (repro.sim.tracing) for protocol debugging
-        self.trace = None
 
     # -- peers ----------------------------------------------------------------
 
@@ -135,6 +172,14 @@ class DirectoryController(Controller):
     def all_cache_names(self) -> list[str]:
         return self.l2_names + self.tcc_names
 
+    # -- FSM plumbing ----------------------------------------------------------
+
+    def _fig2_next(self, txn: Transaction) -> str:
+        """Derive the Figure-2 state a transaction is in right now."""
+        if self._active.get(txn.addr) is not txn:
+            return "U"
+        return txn.blocked_on
+
     # -- message dispatch ------------------------------------------------------
 
     def handle_message(self, msg: Message) -> None:
@@ -150,16 +195,14 @@ class DirectoryController(Controller):
     def _accept_request(self, msg: Message) -> None:
         self.stats.inc("requests")
         self.stats.inc(f"requests.{msg.mtype.value}")
-        if self.trace is not None:
-            self.trace.record(self.now, self.name, "request", msg.addr,
-                              f"{msg.mtype.value} from {msg.src}")
-        if msg.addr in self._active:
-            self.stats.inc("requests_queued")
-            self._waiting.setdefault(msg.addr, deque()).append(msg)
+        txn = self._active.get(msg.addr)
+        if txn is not None:
+            txn.fsm.fire(msg.mtype.value, self, msg.addr, msg)
             return
         limit = self.policy.dir_max_transactions
         if limit is not None and len(self._active) >= limit:
-            # out of transaction buffers (TBEs): stall at admission
+            # out of transaction buffers (TBEs): stall at admission, before
+            # any per-line state machine exists
             self.stats.inc("admission_stalls")
             self._admission.append(msg)
             return
@@ -168,14 +211,28 @@ class DirectoryController(Controller):
     def _start(self, msg: Message) -> None:
         txn = Transaction(msg)
         txn.started_at = self.now
+        txn.fsm = ProtocolFSM(self.fsm_table, "U")
         self._active[msg.addr] = txn
+        txn.fsm.fire(msg.mtype.value, self, msg.addr, txn)
+
+    def _act_start_request(self, txn: Transaction) -> None:
         self.schedule(self.latency_cycles, self._launch, arg=txn)
+        return None  # single declared next: B
+
+    def _act_queue_request(self, msg: Message) -> None:
+        self.stats.inc("requests_queued")
+        self._waiting.setdefault(msg.addr, deque()).append(msg)
+        return None  # stays in the current blocked state
 
     # -- transaction launch ------------------------------------------------------
 
     def _launch(self, txn: Transaction) -> None:
+        txn.fsm.fire(EV_LAUNCH, self, txn.addr, txn)
+
+    def _act_launch(self, txn: Transaction) -> str:
         if not self.prepare_entry(txn):
-            return  # parked; the entry-eviction path will relaunch us
+            # parked (or retrying); the entry-eviction path will relaunch us
+            return self._fig2_next(txn)
         mtype = txn.request.mtype
         if mtype.is_victim:
             self._handle_victim(txn)
@@ -183,9 +240,10 @@ class DirectoryController(Controller):
             self._handle_flush(txn)
         else:
             self._handle_permission(txn)
+        return self._fig2_next(txn)
 
     def relaunch(self, txn: Transaction) -> None:
-        """Re-enter :meth:`_launch` after an entry eviction made space."""
+        """Re-fire ``Launch`` after an entry eviction made space."""
         self._launch(txn)
 
     def _handle_permission(self, txn: Transaction) -> None:
@@ -207,11 +265,6 @@ class DirectoryController(Controller):
             "probes_sent.inv" if ptype is ProbeType.INVALIDATE else "probes_sent.down",
             len(targets),
         )
-        if self.trace is not None:
-            self.trace.record(
-                self.now, self.name, "probe", txn.addr,
-                f"{ptype.value} -> {','.join(targets)}",
-            )
         for target in targets:
             self.network.send(Message.probe(self.name, target, txn.addr, ptype, txn.tid))
 
@@ -219,26 +272,34 @@ class DirectoryController(Controller):
 
     def _read_llc_then_memory(self, txn: Transaction) -> None:
         txn.read_issued = True
+        self.schedule(self.llc.latency_cycles, self._fire_llc_data, arg=txn)
 
-        def after_llc() -> None:
-            hit, data = self.llc.read(txn.addr)
-            if hit:
-                txn.fetched_data = data
-                txn.data_ready = True
-                self._maybe_finish_permission(txn)
-                return
-            txn.mem_outstanding = True
-            self._mem_read(txn.addr, lambda mem_data: self._on_mem_data(txn, mem_data))
+    def _fire_llc_data(self, txn: Transaction) -> None:
+        txn.fsm.fire(EV_LLC_DATA, self, txn.addr, txn)
 
-        self.schedule(self.llc.latency_cycles, after_llc)
+    def _act_llc_data(self, txn: Transaction) -> str:
+        hit, data = self.llc.read(txn.addr)
+        if hit:
+            txn.fetched_data = data
+            txn.data_ready = True
+            self._maybe_finish_permission(txn)
+            return self._fig2_next(txn)
+        txn.mem_outstanding = True
+        self._mem_read(txn.addr, lambda mem_data: self._on_mem_data(txn, mem_data))
+        return self._fig2_next(txn)
 
     def _on_mem_data(self, txn: Transaction, data: LineData) -> None:
+        txn.fsm.fire(EV_MEM_DATA, self, txn.addr, (txn, data))
+
+    def _act_mem_data(self, ctx: tuple) -> str:
+        txn, data = ctx
         txn.mem_outstanding = False
         if not txn.data_ready:
             txn.fetched_data = data
             txn.data_ready = True
         self._maybe_finish_permission(txn)
         self._maybe_complete(txn)
+        return self._fig2_next(txn)
 
     def _mem_read(self, addr: int, callback: Callable[[LineData], None]) -> None:
         self.stats.inc("mem_reads")
@@ -254,8 +315,10 @@ class DirectoryController(Controller):
         txn = self._active.get(msg.addr)
         if txn is None or msg.tid != txn.tid:
             raise ProtocolError(f"orphan probe ack {msg!r}")
-        if txn.pending_acks <= 0:
-            raise ProtocolError(f"unexpected extra probe ack {msg!r} for {txn!r}")
+        txn.fsm.fire(EV_PROBE_ACK, self, msg.addr, (txn, msg))
+
+    def _act_probe_ack(self, ctx: tuple) -> str:
+        txn, msg = ctx
         txn.pending_acks -= 1
         if msg.had_copy:
             txn.any_copy_acked = True
@@ -271,18 +334,21 @@ class DirectoryController(Controller):
         if txn.pending_acks == 0 and txn.on_all_acks is not None:
             hook, txn.on_all_acks = txn.on_all_acks, None
             hook()
-            return
+            return self._fig2_next(txn)
         self._maybe_finish_permission(txn)
         self._maybe_complete(txn)
+        return self._fig2_next(txn)
 
     def _on_unblock(self, msg: Message) -> None:
         txn = self._active.get(msg.addr)
         if txn is None or msg.tid != txn.tid:
             raise ProtocolError(f"orphan unblock {msg!r}")
-        if not txn.awaiting_unblock:
-            raise ProtocolError(f"unblock for non-blocked {txn!r}")
+        txn.fsm.fire(EV_UNBLOCK, self, msg.addr, txn)
+
+    def _act_unblock(self, txn: Transaction) -> str:
         txn.awaiting_unblock = False
         self._maybe_complete(txn)
+        return self._fig2_next(txn)
 
     # -- permission completion -------------------------------------------------------
 
@@ -316,9 +382,6 @@ class DirectoryController(Controller):
         txn.responded = True
         req = txn.request
         mtype = req.mtype
-        if self.trace is not None:
-            self.trace.record(self.now, self.name, "respond", txn.addr,
-                              f"{mtype.value} -> {req.requester} ({txn.blocked_on})")
         data = txn.dirty_data if txn.dirty_data is not None else txn.fetched_data
         if mtype in (MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM):
             state = self.grant_state(txn)
@@ -478,20 +541,84 @@ class DirectoryController(Controller):
             self.stats.inc("superseded_victims_dropped")
         else:
             accepted = self.accept_victim(txn)
+        self.schedule(self.llc.latency_cycles, self._fire_victim_commit,
+                      arg=(txn, accepted))
 
-        def finish() -> None:
-            if accepted:
-                self._write_victim(req)
-            else:
-                self.stats.inc("stale_victims_dropped")
-            self.network.send(
-                Message(MsgType.WB_ACK, self.name, req.requester, txn.addr, tid=txn.tid)
-            )
-            txn.responded = True
-            self.update_state_after_response(txn)
-            self._maybe_complete(txn)
+    def _fire_victim_commit(self, ctx: tuple) -> None:
+        txn = ctx[0]
+        txn.fsm.fire(EV_COMMIT, self, txn.addr, ctx)
 
-        self.schedule(self.llc.latency_cycles, finish)
+    def _finish_victim(self, txn: Transaction, accepted: bool) -> str:
+        """Shared tail of every victim-commit action: ack and complete."""
+        req = txn.request
+        if not accepted:
+            self.stats.inc("stale_victims_dropped")
+        self.network.send(
+            Message(MsgType.WB_ACK, self.name, req.requester, txn.addr, tid=txn.tid)
+        )
+        txn.responded = True
+        self.update_state_after_response(txn)
+        self._maybe_complete(txn)
+        return self._fig2_next(txn)
+
+    # victim-commit actions — one per §III policy overlay (selected by
+    # build_directory_table; see _select_victim_commit)
+
+    def _act_victim_commit_baseline(self, ctx: tuple) -> str:
+        """§II-D baseline: every victim writes the LLC and memory."""
+        txn, accepted = ctx
+        if accepted:
+            req = txn.request
+            dirty = req.mtype is MsgType.VIC_DIRTY
+            displaced = self.llc.write_victim(req.addr, req.data, dirty=dirty)
+            if displaced is not None:
+                self._mem_write(displaced.addr, displaced.data)
+            self._mem_write(req.addr, req.data)
+        return self._finish_victim(*ctx)
+
+    def _act_victim_commit_no_clean_mem(self, ctx: tuple) -> str:
+        """§III-B: clean victims skip the memory write (LLC only)."""
+        txn, accepted = ctx
+        if accepted:
+            req = txn.request
+            dirty = req.mtype is MsgType.VIC_DIRTY
+            displaced = self.llc.write_victim(req.addr, req.data, dirty=dirty)
+            if displaced is not None:
+                self._mem_write(displaced.addr, displaced.data)
+            if dirty:
+                self._mem_write(req.addr, req.data)
+        return self._finish_victim(*ctx)
+
+    def _act_victim_commit_drop_clean(self, ctx: tuple) -> str:
+        """§III-B1: clean victims are dropped entirely."""
+        txn, accepted = ctx
+        if accepted:
+            req = txn.request
+            if req.mtype is MsgType.VIC_DIRTY:
+                displaced = self.llc.write_victim(req.addr, req.data, dirty=True)
+                if displaced is not None:
+                    self._mem_write(displaced.addr, displaced.data)
+                self._mem_write(req.addr, req.data)
+        return self._finish_victim(*ctx)
+
+    def _act_victim_commit_llc_only(self, ctx: tuple) -> str:
+        """§III-C llcWB: victims write only the LLC; its dirty bit defers
+        the memory write to the LLC's own eviction."""
+        txn, accepted = ctx
+        if accepted:
+            req = txn.request
+            dirty = req.mtype is MsgType.VIC_DIRTY
+            displaced = self.llc.write_victim(req.addr, req.data, dirty=dirty)
+            if displaced is not None:
+                self._mem_write(displaced.addr, displaced.data)
+        return self._finish_victim(*ctx)
+
+    def _act_victim_commit_generic(self, ctx: tuple) -> str:
+        """Fallback for knob combinations outside the named §III overlays."""
+        txn, accepted = ctx
+        if accepted:
+            self._write_victim(txn.request)
+        return self._finish_victim(*ctx)
 
     def _write_victim(self, req: Message) -> None:
         dirty = req.mtype is MsgType.VIC_DIRTY
@@ -532,13 +659,8 @@ class DirectoryController(Controller):
         per_type = self.stats.child("txn")
         per_type.inc(f"{txn.request.mtype.value}.count")
         per_type.inc(f"{txn.request.mtype.value}.latency_ticks", elapsed)
-        if self.trace is not None:
-            self.trace.record(self.now, self.name, "complete", txn.addr,
-                              f"{txn.request.mtype.value} tid={txn.tid}")
         if txn.on_complete is not None:
             txn.on_complete()
-        if self.on_transaction_complete is not None:
-            self.on_transaction_complete(self, txn.addr)
         queue = self._waiting.get(txn.addr)
         if queue:
             nxt = queue.popleft()
@@ -615,3 +737,159 @@ class DirectoryController(Controller):
         if self._admission:
             return f"{len(self._admission)} admission-stalled requests"
         return None
+
+
+# -- Figure 2 table ----------------------------------------------------------------
+
+
+def _dispatch_dir_evict(ctl, ctx) -> str:
+    # virtual dispatch: the action is defined by PreciseDirectory
+    return ctl._act_dir_evict(ctx)
+
+
+def _select_victim_commit(policy: DirectoryPolicy):
+    """Map the §III victim-policy knobs to a (action, overlay-name) pair."""
+    combo = (
+        policy.clean_victims_to_llc,
+        policy.clean_victims_to_memory,
+        policy.llc_writeback,
+    )
+    if policy.llc_writeback:
+        if policy.clean_victims_to_llc:
+            return DirectoryController._act_victim_commit_llc_only, OVL_LLC_WB
+        return DirectoryController._act_victim_commit_generic, "custom victim policy"
+    if combo == (True, True, False):
+        return DirectoryController._act_victim_commit_baseline, None
+    if combo == (True, False, False):
+        return DirectoryController._act_victim_commit_no_clean_mem, OVL_NO_CLEAN_MEM
+    if combo == (False, False, False):
+        return DirectoryController._act_victim_commit_drop_clean, OVL_DROP_CLEAN
+    return DirectoryController._act_victim_commit_generic, "custom victim policy"
+
+
+_TABLE_CACHE: dict[tuple, TransitionTable] = {}
+
+
+def build_directory_table(policy: DirectoryPolicy, precise: bool) -> TransitionTable:
+    """Build (and cache) the Figure-2 transaction table for a policy.
+
+    §III policies select overlays: early_dirty_response adds the
+    ``B_PU``/``B_PMU`` states, the victim knobs swap the ``(B, Commit)``
+    action, and the §VII conservative-VicDirty variant lets a victim commit
+    end in ``B_P`` (sharer invalidations in flight).  A precise directory
+    additionally handles ``DirEvict`` (entry evictions run as transactions).
+    """
+    early = policy.early_dirty_response
+    conservative_vic = bool(precise and policy.vicdirty_invalidates_sharers)
+    vic_action, vic_overlay = _select_victim_commit(policy)
+    key = (precise, early, conservative_vic, vic_action)
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    D = DirectoryController
+    states = ("U",) + _BLOCKED_BASE + (_BLOCKED_EARLY if early else ())
+    events = REQUEST_EVENTS + (
+        EV_LAUNCH, EV_LLC_DATA, EV_MEM_DATA, EV_PROBE_ACK, EV_UNBLOCK, EV_COMMIT,
+    ) + ((EV_DIR_EVICT,) if precise else ())
+    name = "dir-fig2/" + ("precise" if precise else "stateless")
+    table = TransitionTable(name, states, events, initial="U")
+
+    # Requests: U starts a transaction; any blocked state queues behind it.
+    table.on("U", REQUEST_EVENTS, "B", action=D._act_start_request,
+             note="allocate a TBE and schedule the launch (Fig. 2 U -> B)")
+    for blocked in states[1:]:
+        table.on(blocked, REQUEST_EVENTS, blocked, action=D._act_queue_request,
+                 note="line busy: queue behind the active transaction")
+
+    # Launch: plan probes / data reads, or commit victims and flushes.
+    table.on("B", EV_LAUNCH, ("B", "B_P", "B_U", "U"), action=D._act_launch,
+             note="plan probes/data (Fig. 2 B -> B_P); B_U = elided-read "
+                  "upgrade respond; U = probe-free commit (WT/flush)")
+
+    # LLC lookup completion: hit -> respond path, miss -> memory read.
+    table.on("B", EV_LLC_DATA, ("B_M", "B_U", "U"), action=D._act_llc_data,
+             note="LLC hit responds (Fig. 2 B -> B_U/U); miss goes to memory (B_M)")
+    table.on("B_P", EV_LLC_DATA, ("B_P", "B_PM"), action=D._act_llc_data,
+             note="data ready/miss while probes outstanding (Fig. 2 B_P -> B_PM)")
+    table.on("B_U", EV_LLC_DATA, ("B_U", "B_MU"), action=D._act_llc_data,
+             note="read still in flight after a dirty-ack response")
+    table.on("U", EV_LLC_DATA, "U", action=D._act_llc_data,
+             note="late LLC return after the unblock already completed the "
+                  "transaction; a miss still issues the (modelled) memory read")
+    if early:
+        table.on("B_PU", EV_LLC_DATA, ("B_PU", "B_PMU"), action=D._act_llc_data,
+                 overlay=OVL_EARLY)
+
+    # Memory read completion.
+    table.on("B_M", EV_MEM_DATA, ("B_U", "U"), action=D._act_mem_data,
+             note="respond from memory data (Fig. 2 B_M -> U)")
+    table.on("B_PM", EV_MEM_DATA, "B_P", action=D._act_mem_data)
+    table.on("B_MU", EV_MEM_DATA, "B_U", action=D._act_mem_data)
+    table.on("U", EV_MEM_DATA, "U", action=D._act_mem_data,
+             note="late memory return for an already-completed transaction")
+    if early:
+        table.on("B_PMU", EV_MEM_DATA, "B_PU", action=D._act_mem_data,
+                 overlay=OVL_EARLY)
+
+    # Probe acks.
+    probe_ack = D._act_probe_ack
+    table.on("B_P", EV_PROBE_ACK,
+             ("B_P", "B", "B_U", "U") + (("B_PU",) if early else ()),
+             action=probe_ack,
+             note="collect dirty data; last ack responds or defers the read")
+    table.on("B_PM", EV_PROBE_ACK,
+             ("B_PM", "B_M", "B_MU") + (("B_PMU",) if early else ()),
+             action=probe_ack)
+    if early:
+        table.on("B_PU", EV_PROBE_ACK, ("B_PU", "B_U"), action=probe_ack,
+                 overlay=OVL_EARLY,
+                 note="acks draining after the §III-A early response")
+        table.on("B_PMU", EV_PROBE_ACK, ("B_PMU", "B_MU"), action=probe_ack,
+                 overlay=OVL_EARLY)
+
+    # Unblocks close CPU fill transactions.
+    table.on("B_U", EV_UNBLOCK, "U", action=D._act_unblock,
+             note="requester installed the line (Fig. 2 -> U)")
+    table.on("B_MU", EV_UNBLOCK, "B_M", action=D._act_unblock)
+    if early:
+        table.on("B_PU", EV_UNBLOCK, "B_P", action=D._act_unblock,
+                 overlay=OVL_EARLY)
+        table.on("B_PMU", EV_UNBLOCK, "B_PM", action=D._act_unblock,
+                 overlay=OVL_EARLY)
+
+    # Victim commit (the LLC-latency write point).
+    commit_nexts = ("U", "B_P") if conservative_vic else ("U",)
+    table.on("B", EV_COMMIT, commit_nexts, action=vic_action,
+             overlay=OVL_CONSERVATIVE_VIC if conservative_vic else vic_overlay,
+             note="write the victim per the §III policy and ack"
+                  + ("; B_P = §VII sharer invalidations in flight"
+                     if conservative_vic else ""))
+
+    # Precise only: a directory-entry eviction runs as its own transaction.
+    if precise:
+        table.on("U", EV_DIR_EVICT, ("B_P", "U"), action=_dispatch_dir_evict,
+                 note="§IV-A1 entry eviction: back-invalidate tracked "
+                      "holders (B_P) or finish immediately (U)")
+
+    # Everything else is explicitly illegal: the engine raises if it fires.
+    early_states = _BLOCKED_EARLY if early else ()
+    table.illegal(("U",) + tuple(s for s in _BLOCKED_BASE if s != "B")
+                  + early_states, EV_LAUNCH,
+                  note="launch fires exactly once, out of B")
+    table.illegal(("B_M", "B_PM", "B_MU") + (("B_PMU",) if early else ()),
+                  EV_LLC_DATA, note="the LLC lookup already completed")
+    table.illegal(("B", "B_P", "B_U") + (("B_PU",) if early else ()),
+                  EV_MEM_DATA, note="no memory read outstanding")
+    table.illegal(("U", "B", "B_M", "B_U", "B_MU"), EV_PROBE_ACK,
+                  note="no probes outstanding (an extra ack is a protocol bug)")
+    table.illegal(("U", "B", "B_P", "B_M", "B_PM"), EV_UNBLOCK,
+                  note="no response awaiting an unblock")
+    table.illegal(tuple(s for s in states if s != "B"), EV_COMMIT,
+                  note="victim commits happen once, out of B")
+    if precise:
+        table.illegal(tuple(s for s in states if s != "U"), EV_DIR_EVICT,
+                      note="entry evictions only start on idle lines")
+
+    _TABLE_CACHE[key] = table
+    return table

@@ -55,6 +55,22 @@ class LastLevelCache:
         self.writeback = writeback
         self.latency_cycles = latency_cycles
         self.stats = StatGroup("llc")
+        #: optional ProtocolTrace sink (the LLC is passive — no transition
+        #: table — so tracing records accesses, not state transitions)
+        self.trace = None
+        self._trace_sim = None
+        self._trace_name = "llc"
+
+    # -- tracing ---------------------------------------------------------------
+
+    def attach_trace(self, trace, sim, name: str) -> None:
+        """Record this slice's accesses into a ProtocolTrace ring buffer."""
+        self.trace = trace
+        self._trace_sim = sim
+        self._trace_name = name
+
+    def _record(self, event: str, addr: int, detail: str) -> None:
+        self.trace.record(self._trace_sim.now, self._trace_name, event, addr, detail)
 
     # -- read path ----------------------------------------------------------
 
@@ -63,8 +79,12 @@ class LastLevelCache:
         line = self.array.lookup(addr)
         if line is None:
             self.stats.inc("read_misses")
+            if self.trace is not None:
+                self._record("LlcRead", addr, "miss")
             return False, None
         self.stats.inc("read_hits")
+        if self.trace is not None:
+            self._record("LlcRead", addr, "hit")
         return True, line.data
 
     # -- fill paths ----------------------------------------------------------
@@ -81,6 +101,8 @@ class LastLevelCache:
         line needing a memory write-back, if any.
         """
         self.stats.inc("victim_writes")
+        if self.trace is not None:
+            self._record("LlcVictim", addr, "dirty" if dirty else "clean")
         existing = self.array.lookup(addr)
         if existing is not None:
             existing.data = data
@@ -100,6 +122,8 @@ class LastLevelCache:
         (write-back LLC), so this LLC copy becomes the only current one.
         """
         self.stats.inc("wt_writes")
+        if self.trace is not None:
+            self._record("LlcWT", addr, "dirty" if dirty else "clean")
         existing = self.array.lookup(addr)
         if existing is not None:
             existing.data = data
@@ -151,6 +175,8 @@ class LastLevelCache:
         if snapshot is None:
             return None
         self.stats.inc("invalidations")
+        if self.trace is not None:
+            self._record("LlcInval", addr, "dirty" if snapshot.dirty else "clean")
         if snapshot.dirty:
             return EvictedLine(snapshot.addr, snapshot.data, True)
         return None

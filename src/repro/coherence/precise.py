@@ -25,8 +25,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.coherence.directory import DirectoryController, ProtocolError, RequestPlan
+from repro.coherence.directory import (
+    EV_DIR_EVICT,
+    DirectoryController,
+    ProtocolError,
+    RequestPlan,
+    build_directory_table,
+)
 from repro.coherence.directory_entry import DirEntry
+from repro.coherence.engine import ProtocolFSM, TransitionTable
 from repro.coherence.llc import LastLevelCache
 from repro.coherence.policies import DirectoryPolicy
 from repro.coherence.transactions import Transaction
@@ -47,6 +54,17 @@ _ALLOCATING = frozenset({MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM})
 
 #: retry delay (directory cycles) when every way of a set is transaction-busy
 _ALLOC_RETRY_CYCLES = 20.0
+
+#: Table I events: the nine fabric requests that reach the state-update
+#: point (Flush never changes directory state), plus entry evictions.
+_T1_REQUESTS = tuple(
+    m.value for m in (
+        MsgType.RDBLK, MsgType.RDBLKS, MsgType.RDBLKM,
+        MsgType.VIC_DIRTY, MsgType.VIC_CLEAN,
+        MsgType.WT, MsgType.ATOMIC, MsgType.DMA_RD, MsgType.DMA_WR,
+    )
+)
+EV_EVICT_DONE = "EvictDone"  #: entry-eviction back-invalidations all acked
 
 
 class PreciseDirectory(DirectoryController):
@@ -71,6 +89,10 @@ class PreciseDirectory(DirectoryController):
         policy.validate()
         if not policy.is_precise:
             raise ValueError("PreciseDirectory requires kind OWNER or SHARERS")
+        # Replace the stateless Figure-2 table with the precise variant
+        # (adds the DirEvict transitions) and declare Table I.
+        self.fsm_table = build_directory_table(policy, precise=True)
+        self.table1 = build_table1(policy)
         num_sets = max(1, policy.dir_entries // policy.dir_assoc)
         ways = min(policy.dir_assoc, policy.dir_entries)
         self.dir_cache = CacheArray(num_sets, ways)
@@ -132,9 +154,10 @@ class PreciseDirectory(DirectoryController):
             )
             return True
         if victim.addr in self._active:
-            # Every way busy with a transaction: retry shortly.
+            # Every way busy with a transaction: retry shortly (re-fires
+            # Launch out of the still-blocked B state).
             self.stats.inc("alloc_retries")
-            self.schedule(_ALLOC_RETRY_CYCLES, lambda: self._launch(txn))
+            self.schedule(_ALLOC_RETRY_CYCLES, self._launch, arg=txn)
             return False
         self._start_entry_eviction(victim, then=txn)
         return False
@@ -150,35 +173,59 @@ class PreciseDirectory(DirectoryController):
 
     def _start_entry_eviction(self, victim: CacheLine, then: Transaction) -> None:
         """Evict a directory entry: back-invalidate its tracked holders,
-        write any dirty data to the LLC, then relaunch the parked request."""
+        write any dirty data to the LLC, then relaunch the parked request.
+
+        The eviction runs as its own Figure-2 transaction (``DirEvict`` out
+        of ``U``); the entry walks Table I's ``S/O -> B -> I``.
+        """
         self.stats.inc("dir_evictions")
         evict_req = Message(MsgType.PROBE, self.name, self.name, victim.addr)
         evict_txn = Transaction(evict_req, is_eviction=True)
         evict_txn.started_at = self.now
+        evict_txn.fsm = ProtocolFSM(self.fsm_table, "U")
         self._active[victim.addr] = evict_txn
-        targets = self._holder_targets(victim, include_owner=True)
-        victim.state = DirState.B  # Table I's transient B: requests stall
-        self.stats.inc("backward_invalidations", len(targets))
-
-        def finish_eviction() -> None:
-            if evict_txn.dirty_data is not None:
-                displaced = self.llc.write_victim(
-                    victim.addr, evict_txn.dirty_data, dirty=True
-                )
-                if displaced is not None:
-                    self._mem_write(displaced.addr, displaced.data)
-                if not self.policy.llc_writeback:
-                    self._mem_write(victim.addr, evict_txn.dirty_data)
-            self.dir_cache.invalidate(victim.addr)
-            evict_txn.responded = True
-            self._maybe_complete(evict_txn)
-
         evict_txn.on_complete = lambda: self.relaunch(then)
+        evict_txn.fsm.fire(EV_DIR_EVICT, self, victim.addr, (evict_txn, victim))
+
+    def _act_dir_evict(self, ctx: tuple) -> str:
+        evict_txn, victim = ctx
+        # targets must be computed before Table I's S/O -> B flip (the
+        # owner is only probed while the entry still shows O)
+        targets = self._holder_targets(victim, include_owner=True)
+        ProtocolFSM(self.table1, victim.state).fire(
+            EV_DIR_EVICT, self, victim.addr, victim
+        )
+        self.stats.inc("backward_invalidations", len(targets))
         if targets:
-            evict_txn.on_all_acks = finish_eviction
+            evict_txn.on_all_acks = lambda: self._finish_eviction(evict_txn, victim)
             self._send_probes(evict_txn, targets, ProbeType.INVALIDATE)
         else:
-            finish_eviction()
+            self._finish_eviction(evict_txn, victim)
+        return self._fig2_next(evict_txn)
+
+    def _finish_eviction(self, evict_txn: Transaction, victim: CacheLine) -> None:
+        ProtocolFSM(self.table1, DirState.B).fire(
+            EV_EVICT_DONE, self, victim.addr, (evict_txn, victim)
+        )
+        evict_txn.responded = True
+        self._maybe_complete(evict_txn)
+
+    def _act_t1_evict_begin(self, victim: CacheLine) -> DirState:
+        victim.state = DirState.B  # Table I's transient B: requests stall
+        return DirState.B
+
+    def _act_t1_evict_done(self, ctx: tuple) -> DirState:
+        evict_txn, victim = ctx
+        if evict_txn.dirty_data is not None:
+            displaced = self.llc.write_victim(
+                victim.addr, evict_txn.dirty_data, dirty=True
+            )
+            if displaced is not None:
+                self._mem_write(displaced.addr, displaced.data)
+            if not self.policy.llc_writeback:
+                self._mem_write(victim.addr, evict_txn.dirty_data)
+        self.dir_cache.invalidate(victim.addr)
+        return DirState.I
 
     # -- request planning (Table I) ------------------------------------------------
 
@@ -283,25 +330,46 @@ class PreciseDirectory(DirectoryController):
     # -- state updates (Table I) ----------------------------------------------------------
 
     def update_state_after_response(self, txn: Transaction) -> None:
-        req = txn.request
-        mtype = req.mtype
+        """Fire the Table I transition for the completed request.
+
+        The FSM starts from :attr:`~Transaction.prior_state` — the stable
+        state recorded when the transaction launched (the line is blocked in
+        between, so nothing else can move it) — and each action reports the
+        resulting stable state, which the engine checks against Table I's
+        declared next-states.
+        """
+        prior: DirState = txn.prior_state  # type: ignore[assignment]
+        ProtocolFSM(self.table1, prior).fire(
+            txn.request.mtype.value, self, txn.addr, txn
+        )
+
+    # -- Table I actions (return the resulting stable state) --------------------
+
+    def _act_t1_read(self, txn: Transaction) -> DirState:
         line = self.entry_line(txn.addr)
-        if mtype in (MsgType.RDBLK, MsgType.RDBLKS):
-            if line is None and self.policy.is_readonly(txn.addr):
-                return  # untracked read-only read: nothing to record
-            self._update_after_read(txn, line)
-        elif mtype is MsgType.RDBLKM:
-            self._update_after_rdblkm(txn, line)
-        elif mtype is MsgType.WT:
-            self._update_after_wt(txn, line)
-        elif mtype is MsgType.ATOMIC:
-            self._drop_entry(line)
-        elif mtype is MsgType.DMA_WR:
-            if self.policy.dma_updates_dir_state:
-                self._drop_entry(line)
-        elif mtype.is_victim:
-            self._update_after_victim(txn, line)
-        # DMA_RD and FLUSH leave state untouched.
+        if line is None and self.policy.is_readonly(txn.addr):
+            return DirState.I  # untracked read-only read: nothing to record
+        self._update_after_read(txn, line)
+        return self.dir_state(txn.addr)
+
+    def _act_t1_rdblkm(self, txn: Transaction) -> DirState:
+        self._update_after_rdblkm(txn, self.entry_line(txn.addr))
+        return self.dir_state(txn.addr)
+
+    def _act_t1_wt(self, txn: Transaction) -> DirState:
+        self._update_after_wt(txn, self.entry_line(txn.addr))
+        return self.dir_state(txn.addr)
+
+    def _act_t1_drop(self, txn: Transaction) -> DirState:
+        self._drop_entry(self.entry_line(txn.addr))
+        return DirState.I
+
+    def _act_t1_keep(self, txn: Transaction) -> DirState:
+        return self.dir_state(txn.addr)
+
+    def _act_t1_victim(self, txn: Transaction) -> DirState:
+        self._update_after_victim(txn, self.entry_line(txn.addr))
+        return self.dir_state(txn.addr)
 
     def _update_after_read(self, txn: Transaction, line: CacheLine | None) -> None:
         req = txn.request
@@ -440,3 +508,125 @@ class PreciseDirectory(DirectoryController):
         if line is None:
             return DirState.I, None
         return line.state, line.meta
+
+
+# -- Table I --------------------------------------------------------------------
+
+
+_T1_CACHE: dict[tuple, TransitionTable] = {}
+
+OVL_DMA_KEEPS_STATE = "DMA leaves dir state (dma_updates_dir_state=False)"
+OVL_CONSERVATIVE_VIC = "conservative VicDirty (§VII)"
+
+
+def build_table1(policy: DirectoryPolicy) -> TransitionTable:
+    """Declare the paper's Table I over the stable states ``I/S/O`` (plus
+    the transient ``B`` of an entry eviction).
+
+    Multiple declared next-states mirror Table I's footnoted splits: e.g.
+    ``(I, RdBlk) -> O|S|I`` is "grant E to a lone CPU reader (track as O,
+    footnote a), else S" with ``I`` covering untracked read-only regions,
+    and ``(O, RdBlk) -> O|S`` is footnotes d/f (the owner's ack decides
+    whether the line stays dirty-owned or decays to clean-shared).
+    """
+    key = (policy.dma_updates_dir_state, policy.vicdirty_invalidates_sharers)
+    cached = _T1_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    P = PreciseDirectory
+    states = (DirState.I, DirState.S, DirState.O, DirState.B)
+    events = _T1_REQUESTS + (EV_DIR_EVICT, EV_EVICT_DONE)
+    table = TransitionTable("dir-table1", states, events, initial=DirState.I)
+    I, S, O, B = DirState.I, DirState.S, DirState.O, DirState.B
+    rd = (MsgType.RDBLK.value, MsgType.RDBLKS.value)
+    rdm = MsgType.RDBLKM.value
+    wt = MsgType.WT.value
+    atomic = MsgType.ATOMIC.value
+    dma_rd = MsgType.DMA_RD.value
+    dma_wr = MsgType.DMA_WR.value
+    vic_d = MsgType.VIC_DIRTY.value
+    vic_c = MsgType.VIC_CLEAN.value
+
+    # I: nothing tracked above.
+    table.on(I, MsgType.RDBLK.value, (O, S, I), action=P._act_t1_read,
+             note="lone CPU reader granted E is tracked as O (fn. a); GPU or "
+                  "forced-shared readers as S; read-only regions untracked")
+    table.on(I, MsgType.RDBLKS.value, (S, I), action=P._act_t1_read,
+             note="shared-read fill; I only for untracked read-only regions")
+    table.on(I, rdm, O, action=P._act_t1_rdblkm,
+             note="write fill: requester becomes owner")
+    table.on(I, wt, I, action=P._act_t1_wt,
+             note="WT never allocates (the TCC does not write-allocate)")
+    table.on(I, atomic, I, action=P._act_t1_drop)
+    table.on(I, dma_rd, I, action=P._act_t1_keep, note="DMA reads don't track")
+    table.on(I, dma_wr, I,
+             action=P._act_t1_drop if policy.dma_updates_dir_state
+             else P._act_t1_keep)
+    table.on(I, (vic_d, vic_c), I, action=P._act_t1_victim,
+             note="stale victim: the entry was already evicted")
+
+    # S: clean-shared under the LLC/memory.
+    table.on(S, rd, S, action=P._act_t1_read, note="another sharer joins")
+    table.on(S, rdm, O, action=P._act_t1_rdblkm,
+             note="upgrade: sharers invalidated, requester owns")
+    table.on(S, wt, (S, I), action=P._act_t1_wt,
+             note="holders invalidated; the writing TCC keeps its copy only "
+                  "if it was a tracked sharer")
+    table.on(S, atomic, I, action=P._act_t1_drop,
+             note="system-scope atomic invalidates every copy")
+    table.on(S, dma_rd, S, action=P._act_t1_keep)
+    if policy.dma_updates_dir_state:
+        table.on(S, dma_wr, I, action=P._act_t1_drop,
+                 note="DMA write invalidates the tracked copies")
+    else:
+        table.on(S, dma_wr, S, action=P._act_t1_keep,
+                 overlay=OVL_DMA_KEEPS_STATE)
+    table.on(S, vic_c, (S, I), action=P._act_t1_victim,
+             note="sharer leaves; last one frees the entry")
+    table.on(S, vic_d, S, action=P._act_t1_victim,
+             note="VicDirty from a non-owner is stale: dropped, no change")
+
+    # O: owned (E/M/O somewhere above); the owner holds write-back duty.
+    table.on(O, rd, (O, S), action=P._act_t1_read,
+             note="dirty owner keeps O (fn. d); an E owner downgrades to S "
+                  "(fn. f); a vanished owner hands the line to the requester")
+    table.on(O, rdm, O, action=P._act_t1_rdblkm,
+             note="ownership transfers to the requester")
+    table.on(O, wt, (S, I), action=P._act_t1_wt,
+             note="write-back frees the entry; streaming WT may keep the TCC")
+    table.on(O, atomic, I, action=P._act_t1_drop)
+    table.on(O, dma_rd, O, action=P._act_t1_keep,
+             note="DMA read is served by probing the owner; state unchanged")
+    if policy.dma_updates_dir_state:
+        table.on(O, dma_wr, I, action=P._act_t1_drop)
+    else:
+        table.on(O, dma_wr, O, action=P._act_t1_keep,
+                 overlay=OVL_DMA_KEEPS_STATE)
+    if policy.vicdirty_invalidates_sharers:
+        table.on(O, (vic_d, vic_c), (O, I), action=P._act_t1_victim,
+                 overlay=OVL_CONSERVATIVE_VIC,
+                 note="owner write-back deallocates and invalidates the "
+                      "remaining sharers (§VII); non-owner victims keep O")
+    else:
+        table.on(O, (vic_d, vic_c), (O, S, I), action=P._act_t1_victim,
+                 note="owner write-back: remaining sharers become clean-shared "
+                      "(fn. h) or the entry dies; non-owner victims keep O")
+
+    # Entry evictions (§IV-A1): S/O -> B while back-invalidating, then I.
+    table.on((S, O), EV_DIR_EVICT, B, action=P._act_t1_evict_begin,
+             note="entry eviction begins: requests to the line stall")
+    table.on(B, EV_EVICT_DONE, I, action=P._act_t1_evict_done,
+             note="holders acked: write dirty data to the LLC, free the entry")
+
+    # Illegal pairs: B is only visible to the eviction machinery (requests
+    # to a B line queue at the Figure-2 layer and launch after EvictDone).
+    table.illegal(B, _T1_REQUESTS,
+                  note="blocked entry: requests queue behind the eviction")
+    table.illegal((I, B), EV_DIR_EVICT,
+                  note="only resident stable entries are eviction victims")
+    table.illegal((I, S, O), EV_EVICT_DONE,
+                  note="no eviction in progress")
+
+    _T1_CACHE[key] = table
+    return table

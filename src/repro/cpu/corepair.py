@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.coherence.banking import DirectoryMap, as_directory_map
+from repro.coherence.engine import ProtocolFSM, TransitionTable
 from repro.mem.address import line_addr, word_index
 from repro.mem.block import LineData
 from repro.mem.cache_array import CacheArray
@@ -74,6 +75,73 @@ class _PendingVictim:
 
 _MISS_REQUEST = {"r": MsgType.RDBLK, "w": MsgType.RDBLKM, "i": MsgType.RDBLKS}
 
+# -- MOESI protocol table -----------------------------------------------------
+
+#: pseudo-state for a line whose victim is in flight (invalid in the L2
+#: array, but still answering probes out of the victim buffer)
+VIC_PENDING = "VP"
+
+EV_FILL = "Fill"        #: directory data response installs the line
+EV_STORE = "Store"      #: a store hit on a non-M line (the silent E->M edge)
+EV_PRB_DOWN = "PrbDown"
+EV_PRB_INV = "PrbInv"
+EV_EVICT = "Evict"      #: capacity eviction out of the L2 array
+EV_WB_ACK = "WBAck"     #: directory acknowledged the victim
+
+_PROBE_EVENT = {ProbeType.DOWNGRADE: EV_PRB_DOWN, ProbeType.INVALIDATE: EV_PRB_INV}
+
+
+def build_corepair_table() -> TransitionTable:
+    """The CorePair L2's MOESI table (§II-B), per-line.
+
+    M-hit stores are deliberately *not* modelled as transitions (M x Store
+    is declared illegal): they change no state and sit on the hottest path.
+    The one store transition that exists is the silent E -> M upgrade.
+    """
+    M, O, E, S, I = (MoesiState.M, MoesiState.O, MoesiState.E,
+                     MoesiState.S, MoesiState.I)
+    C = CorePair
+    table = TransitionTable(
+        "corepair-moesi",
+        (I, S, E, O, M, VIC_PENDING),
+        (EV_FILL, EV_STORE, EV_PRB_DOWN, EV_PRB_INV, EV_EVICT, EV_WB_ACK),
+        initial=I,
+    )
+    table.on(I, EV_FILL, (M, E, S), action=C._act_fill,
+             note="miss fill with the directory-granted state")
+    table.on((S, O), EV_FILL, M, action=C._act_fill,
+             note="upgrade fill (RdBlkM): local data kept, permission raised")
+    table.on(E, EV_STORE, M, action=C._act_store,
+             note="silent E->M: no message leaves the CorePair")
+    table.on((M, O), EV_PRB_DOWN, O, action=C._act_down_dirty,
+             note="downgrade with dirty data; this copy keeps write-back duty")
+    table.on(E, EV_PRB_DOWN, S, action=C._act_down_e,
+             note="clean downgrade: no data forwarded (dir falls back to LLC)")
+    table.on(S, EV_PRB_DOWN, S, action=C._act_down_s)
+    table.on(I, (EV_PRB_DOWN, EV_PRB_INV), I, action=C._act_probe_miss,
+             note="no copy: ack had_copy=False")
+    table.on((M, O), EV_PRB_INV, I, action=C._act_inv,
+             note="invalidate forwarding the dirty line")
+    table.on((E, S), EV_PRB_INV, I, action=C._act_inv)
+    table.on(VIC_PENDING, (EV_PRB_DOWN, EV_PRB_INV), VIC_PENDING,
+             action=C._act_probe_vic,
+             note="probe answered from the victim buffer (from_victim ack "
+                  "lets system writes drop the superseded Vic*)")
+    table.on((M, O, E, S), EV_EVICT, VIC_PENDING, action=C._act_evict,
+             note="capacity eviction: VicDirty (M/O) or VicClean (E/S)")
+    table.on(VIC_PENDING, EV_WB_ACK, I, action=C._act_wb_ack,
+             note="victim acknowledged; parked requests replay")
+    table.illegal(M, EV_STORE, note="M-hit stores are silent (no transition)")
+    table.illegal((O, S, I, VIC_PENDING), EV_STORE,
+                  note="stores need write permission: these states miss")
+    table.illegal((M, E, VIC_PENDING), EV_FILL,
+                  note="M/E never miss; vic-pending lines park requests")
+    table.illegal((I, VIC_PENDING), EV_EVICT,
+                  note="only resident lines are eviction victims")
+    table.illegal((M, O, E, S, I), EV_WB_ACK,
+                  note="WB ack without a pending victim")
+    return table
+
 
 class CorePair(Controller):
     """Network endpoint of kind ``"l2"`` embedding the whole CorePair."""
@@ -107,6 +175,27 @@ class CorePair(Controller):
         self.l2_latency = l2_latency
         self._mshrs: dict[int, _Mshr] = {}
         self._vic_pending: dict[int, _PendingVictim] = {}
+        #: per-line MOESI FSMs; lines at rest in I carry no entry
+        self._fsms: dict[int, ProtocolFSM] = {}
+
+    # -- protocol FSM ----------------------------------------------------------
+
+    def _fire(self, line: int, event: str, prev, ctx=None):
+        """Dispatch one MOESI event for ``line`` through the declared table.
+
+        ``prev`` is the line's current state as derived from the L2 array /
+        victim buffer — the authoritative source — so the FSM can never
+        drift from the arrays it shadows.
+        """
+        fsm = self._fsms.get(line)
+        if fsm is None:
+            fsm = self._fsms[line] = ProtocolFSM(_COREPAIR_TABLE, prev)
+        else:
+            fsm.state = prev
+        nxt = fsm.fire(event, self, line, ctx)
+        if nxt is MoesiState.I:
+            del self._fsms[line]
+        return nxt
 
     # -- core-facing interface -------------------------------------------------
 
@@ -184,11 +273,16 @@ class CorePair(Controller):
                 self._execute(slot, request, callback)
                 return
             again.data = again.data.with_word(word_index(request.addr), request.value)
-            again.state = MoesiState.M  # silent E->M
-            again.dirty = True
+            if again.state is not MoesiState.M:
+                self._fire(line, EV_STORE, again.state, again)  # silent E->M
             callback(None)
 
         self.schedule(latency, finish)
+
+    def _act_store(self, cached) -> MoesiState:
+        cached.state = MoesiState.M
+        cached.dirty = True
+        return MoesiState.M
 
     def _do_atomic(self, slot: int, request: CpuRequest, callback: Callable) -> None:
         line = line_addr(request.addr)
@@ -208,8 +302,8 @@ class CorePair(Controller):
                 request.atomic_op, request.operand, request.compare,
             )
             again.data = new_data
-            again.state = MoesiState.M
-            again.dirty = True
+            if again.state is not MoesiState.M:
+                self._fire(line, EV_STORE, again.state, again)  # silent E->M
             callback(old)
 
         self.schedule(latency, finish)
@@ -279,10 +373,16 @@ class CorePair(Controller):
                 data = data.with_word(index, value)
         if msg.state is None or msg.state is MoesiState.I:
             raise CorePairError(f"{self.name}: bad granted state in {msg!r}")
-        self._install_line(line, msg.state, data)
+        prev = MoesiState.I if existing is None else existing.state
+        self._fire(line, EV_FILL, prev, (line, msg.state, data))
         self.network.send(Message.unblock(self.name, msg.src, line, msg.tid))
         for slot, request, callback in mshr.waiters:
             self._execute(slot, request, callback)
+
+    def _act_fill(self, ctx: tuple) -> MoesiState:
+        line, state, data = ctx
+        self._install_line(line, state, data)
+        return state
 
     def _install_line(self, line: int, state: MoesiState, data: LineData) -> None:
         if self.l2.lookup(line, touch=False) is None:
@@ -295,8 +395,12 @@ class CorePair(Controller):
                         f"{self.name}: L2 set exhausted by outstanding misses"
                     )
                 snapshot = self.l2.invalidate(victim.addr)
-                self._send_victim(snapshot)
+                self._fire(snapshot.addr, EV_EVICT, snapshot.state, snapshot)
         self.l2.install(line, state=state, data=data, dirty=state.is_dirty)
+
+    def _act_evict(self, snapshot) -> str:
+        self._send_victim(snapshot)
+        return VIC_PENDING
 
     def _send_victim(self, snapshot) -> None:
         dirty = snapshot.state in (MoesiState.M, MoesiState.O)
@@ -312,47 +416,72 @@ class CorePair(Controller):
         )
 
     def _on_wb_ack(self, msg: Message) -> None:
-        pending = self._vic_pending.pop(msg.addr, None)
+        pending = self._vic_pending.get(msg.addr)
         if pending is None:
             raise CorePairError(f"{self.name}: WB ack without pending victim: {msg!r}")
+        self._fire(msg.addr, EV_WB_ACK, VIC_PENDING, (msg.addr, pending))
+
+    def _act_wb_ack(self, ctx: tuple) -> MoesiState:
+        addr, pending = ctx
+        del self._vic_pending[addr]
         for slot, request, callback in pending.waiters:
             self._execute(slot, request, callback)
+        return MoesiState.I
 
     # -- probes ------------------------------------------------------------------------------
 
     def _on_probe(self, msg: Message) -> None:
         self.stats.inc("probes_received")
+        event = _PROBE_EVENT.get(msg.probe_type)
+        if event is None:
+            raise CorePairError(f"bad probe {msg!r}")
         line = msg.addr
         pending = self._vic_pending.get(line)
         if pending is not None:
-            # Vic in flight: forward the data so the directory never depends
-            # on the (soon stale-dropped) victim message, and flag its origin
-            # so system-level writes know to drop the superseded victim.
-            self._ack(msg, data=pending.data if pending.dirty else None,
-                      dirty=pending.dirty, had_copy=True, from_victim=True)
+            self._fire(line, event, VIC_PENDING, (msg, pending))
             return
         cached = self.l2.lookup(line, touch=False)
-        if cached is None:
-            self._ack(msg, had_copy=False)
-            return
-        if msg.probe_type is ProbeType.DOWNGRADE:
-            if cached.state in (MoesiState.M, MoesiState.O):
-                cached.state = MoesiState.O
-                self._ack(msg, data=cached.data, dirty=True, had_copy=True)
-            elif cached.state is MoesiState.E:
-                cached.state = MoesiState.S
-                self._ack(msg, had_copy=True)
-            else:  # S
-                self._ack(msg, had_copy=True)
-        elif msg.probe_type is ProbeType.INVALIDATE:
-            dirty = cached.state in (MoesiState.M, MoesiState.O)
-            data = cached.data if dirty else None
-            self.l2.invalidate(line)
-            self._drop_l1_copies(line)
-            self.stats.inc("probe_invalidations")
-            self._ack(msg, data=data, dirty=dirty, had_copy=True)
-        else:
-            raise CorePairError(f"bad probe {msg!r}")
+        prev = MoesiState.I if cached is None else cached.state
+        self._fire(line, event, prev, (msg, cached))
+
+    def _act_probe_vic(self, ctx: tuple) -> str:
+        # Vic in flight: forward the data so the directory never depends
+        # on the (soon stale-dropped) victim message, and flag its origin
+        # so system-level writes know to drop the superseded victim.
+        msg, pending = ctx
+        self._ack(msg, data=pending.data if pending.dirty else None,
+                  dirty=pending.dirty, had_copy=True, from_victim=True)
+        return VIC_PENDING
+
+    def _act_probe_miss(self, ctx: tuple) -> MoesiState:
+        self._ack(ctx[0], had_copy=False)
+        return MoesiState.I
+
+    def _act_down_dirty(self, ctx: tuple) -> MoesiState:
+        msg, cached = ctx
+        cached.state = MoesiState.O
+        self._ack(msg, data=cached.data, dirty=True, had_copy=True)
+        return MoesiState.O
+
+    def _act_down_e(self, ctx: tuple) -> MoesiState:
+        msg, cached = ctx
+        cached.state = MoesiState.S
+        self._ack(msg, had_copy=True)
+        return MoesiState.S
+
+    def _act_down_s(self, ctx: tuple) -> MoesiState:
+        self._ack(ctx[0], had_copy=True)
+        return MoesiState.S
+
+    def _act_inv(self, ctx: tuple) -> MoesiState:
+        msg, cached = ctx
+        dirty = cached.state in (MoesiState.M, MoesiState.O)
+        data = cached.data if dirty else None
+        self.l2.invalidate(msg.addr)
+        self._drop_l1_copies(msg.addr)
+        self.stats.inc("probe_invalidations")
+        self._ack(msg, data=data, dirty=dirty, had_copy=True)
+        return MoesiState.I
 
     def _ack(self, probe: Message, data: LineData | None = None,
              dirty: bool = False, had_copy: bool = False,
@@ -388,3 +517,8 @@ class CorePair(Controller):
         if self._vic_pending:
             return f"{len(self._vic_pending)} pending victims"
         return None
+
+
+#: shared by every CorePair (the table is immutable once built; built here
+#: because the rows bind the action methods above)
+_COREPAIR_TABLE = build_corepair_table()

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.coherence.banking import DirectoryMap, as_directory_map
+from repro.coherence.engine import ProtocolFSM, TransitionTable
 from repro.mem.block import LineData
 from repro.mem.cache_array import CacheArray
 from repro.protocol.atomics import AtomicOp, apply_atomic
@@ -48,6 +49,61 @@ class TccError(SimulationError):
 @dataclass
 class _Mshr:
     waiters: list[Callable[[LineData], None]] = field(default_factory=list)
+
+
+# -- VI protocol table --------------------------------------------------------
+
+EV_FILL = "Fill"              #: directory data response (or refresh) installs
+EV_PRB_INV = "PrbInv"
+EV_PRB_DOWN = "PrbDown"
+EV_EVICT = "Evict"            #: dirty capacity eviction (write-back + drop)
+EV_SLC_BYPASS = "SlcBypass"   #: system-scope atomic bypasses the local copy
+EV_FLUSH_LINE = "FlushLine"   #: flush cleans the line but retains it
+EV_INV_ALL = "InvAll"         #: full-cache invalidate drops the line
+
+_PROBE_EVENT = {ProbeType.INVALIDATE: EV_PRB_INV, ProbeType.DOWNGRADE: EV_PRB_DOWN}
+
+
+def build_tcc_table() -> TransitionTable:
+    """The TCC's Valid/Invalid table (§II-C), per-line.
+
+    Stores are not transitions — they update data (and, in WB mode, the
+    per-word dirty mask) without changing the V/I state.  Clean capacity
+    displacement happens inside ``CacheArray.install`` and is likewise not
+    a declared event (no message leaves the TCC for it).
+    """
+    V, I = ViState.V, ViState.I
+    T = TccController
+    table = TransitionTable(
+        "tcc-vi",
+        (I, V),
+        (EV_FILL, EV_PRB_INV, EV_PRB_DOWN, EV_EVICT, EV_SLC_BYPASS,
+         EV_FLUSH_LINE, EV_INV_ALL),
+        initial=I,
+    )
+    table.on((I, V), EV_FILL, V, action=T._act_fill,
+             note="miss fill allocates (evicting a dirty victim first); a "
+                  "hit refreshes the data in place")
+    table.on(V, EV_PRB_INV, I, action=T._act_probe_inv,
+             note="drop the line; modified words ride in the ack (no line "
+                  "data forwarding, §II-C)")
+    table.on(I, EV_PRB_INV, I, action=T._act_probe_noop,
+             note="no copy: ack had_copy=False")
+    table.on(I, EV_PRB_DOWN, I, action=T._act_probe_noop,
+             note="VI has nothing to downgrade: ack and keep state")
+    table.on(V, EV_PRB_DOWN, V, action=T._act_probe_noop)
+    table.on(V, EV_EVICT, I, action=T._act_evict,
+             note="dirty capacity eviction: word-masked write-back (WT "
+                  "is_writeback) relinquishes the line")
+    table.on(V, EV_SLC_BYPASS, I, action=T._act_slc_bypass,
+             note="SLC atomic bypass: invalidate, carrying dirty words along")
+    table.on(V, EV_FLUSH_LINE, V, action=T._act_flush_line,
+             note="flush writes dirty words back but retains the clean line")
+    table.on(V, EV_INV_ALL, I, action=T._act_inv_all,
+             note="full-cache invalidate (dirty data dropped by design)")
+    table.illegal(I, (EV_EVICT, EV_SLC_BYPASS, EV_FLUSH_LINE, EV_INV_ALL),
+                  note="these events only exist for resident lines")
+    return table
 
 
 class TccController(Controller):
@@ -81,6 +137,23 @@ class TccController(Controller):
         self._atomic_pending: dict[int, deque[Callable[[int], None]]] = {}
         #: FIFO of in-flight fences: [outstanding bank acks, callback]
         self._flush_pending: list[list] = []
+        #: per-line VI FSMs; lines at rest in I carry no entry
+        self._fsms: dict[int, ProtocolFSM] = {}
+
+    # -- protocol FSM ----------------------------------------------------------
+
+    def _fire(self, line: int, event: str, prev, ctx=None):
+        """Dispatch one VI event for ``line``; ``prev`` is derived from the
+        array (the authoritative source) so the FSM can never drift."""
+        fsm = self._fsms.get(line)
+        if fsm is None:
+            fsm = self._fsms[line] = ProtocolFSM(_TCC_TABLE, prev)
+        else:
+            fsm.state = prev
+        nxt = fsm.fire(event, self, line, ctx)
+        if nxt is ViState.I:
+            del self._fsms[line]
+        return nxt
 
     # -- CU-facing interface ----------------------------------------------------
 
@@ -195,11 +268,9 @@ class TccController(Controller):
         # local copy so we never serve stale data for this line.
         carried: dict[int, int] | None = None
         if self.array.lookup(line, touch=False) is not None:
-            snapshot = self.array.invalidate(line)
-            if snapshot.dirty and snapshot.meta:
-                # carry our dirty words along so the bypass does not lose them
-                carried = {w: snapshot.data.word(w) for w in snapshot.meta}
-                self.stats.inc("dirty_words_carried_on_bypass", len(carried))
+            ctx: dict = {"line": line}
+            self._fire(line, EV_SLC_BYPASS, ViState.V, ctx)
+            carried = ctx.get("carried")
         self._atomic_pending.setdefault(line, deque()).append(callback)
         self.network.send(
             Message.request(
@@ -241,19 +312,22 @@ class TccController(Controller):
         if self.writeback:
             for cached in self.array.iter_valid():
                 if cached.dirty:
-                    # A flush *cleans* the line but retains it, so the
-                    # directory must keep tracking the TCC (streaming-WT
-                    # semantics, is_writeback=False); only capacity
-                    # evictions relinquish the line.
-                    self.stats.inc("flush_writebacks")
-                    words = cached.meta or set(range(len(cached.data.words)))
-                    self._send_wt(
-                        cached.addr,
-                        word_updates={w: cached.data.word(w) for w in words},
-                    )
-                    cached.dirty = False
-                    cached.meta = None
+                    self._fire(cached.addr, EV_FLUSH_LINE, ViState.V, cached)
         self.drain(callback)
+
+    def _act_flush_line(self, cached) -> None:
+        # A flush *cleans* the line but retains it, so the directory must
+        # keep tracking the TCC (streaming-WT semantics, is_writeback=False);
+        # only capacity evictions relinquish the line.
+        self.stats.inc("flush_writebacks")
+        words = cached.meta or set(range(len(cached.data.words)))
+        self._send_wt(
+            cached.addr,
+            word_updates={w: cached.data.word(w) for w in words},
+        )
+        cached.dirty = False
+        cached.meta = None
+        return None  # stays V
 
     def release(self, callback: Callable[[], None]) -> None:
         """Kernel-release: flush, then a directory Flush as the fence."""
@@ -273,9 +347,13 @@ class TccController(Controller):
     def invalidate_all(self) -> None:
         """Drop every line (clean or dirty) — full-cache invalidate."""
         for cached in list(self.array.iter_valid()):
-            if cached.dirty:
-                self.stats.inc("dropped_dirty_on_invalidate")
-            self.array.invalidate(cached.addr)
+            self._fire(cached.addr, EV_INV_ALL, ViState.V, cached)
+
+    def _act_inv_all(self, cached) -> ViState:
+        if cached.dirty:
+            self.stats.inc("dropped_dirty_on_invalidate")
+        self.array.invalidate(cached.addr)
+        return ViState.I
 
     # -- WT plumbing -----------------------------------------------------------------------
 
@@ -324,22 +402,46 @@ class TccController(Controller):
             waiter(msg.data)
 
     def _install(self, line: int, data: LineData) -> None:
+        prev = ViState.I if self.array.lookup(line) is None else ViState.V
+        self._fire(line, EV_FILL, prev, (line, data))
+
+    def _act_fill(self, ctx: tuple) -> ViState:
+        line, data = ctx
         existing = self.array.lookup(line)
         if existing is not None:
             existing.data = data
-            return
+            return ViState.V
         victim = self.array.choose_victim(line)
         if victim.valid and victim.dirty:
             # Capacity eviction of a dirty line: write back its dirty words.
-            self.stats.inc("dirty_evictions")
-            snapshot = self.array.invalidate(victim.addr)
-            words = snapshot.meta or set(range(len(snapshot.data.words)))
-            self._send_wt(
-                snapshot.addr,
-                word_updates={w: snapshot.data.word(w) for w in words},
-                is_writeback=True,
-            )
-        self.array.install(line, state=ViState.V, data=data, dirty=False)
+            self._fire(victim.addr, EV_EVICT, ViState.V, victim.addr)
+        _, displaced = self.array.install(line, state=ViState.V, data=data,
+                                          dirty=False)
+        if displaced is not None:
+            # Clean capacity displacement: silent (no protocol event), but
+            # the displaced line's FSM bookkeeping must not leak.
+            self._fsms.pop(displaced.addr, None)
+        return ViState.V
+
+    def _act_evict(self, addr: int) -> ViState:
+        self.stats.inc("dirty_evictions")
+        snapshot = self.array.invalidate(addr)
+        words = snapshot.meta or set(range(len(snapshot.data.words)))
+        self._send_wt(
+            snapshot.addr,
+            word_updates={w: snapshot.data.word(w) for w in words},
+            is_writeback=True,
+        )
+        return ViState.I
+
+    def _act_slc_bypass(self, ctx: dict) -> ViState:
+        snapshot = self.array.invalidate(ctx["line"])
+        if snapshot.dirty and snapshot.meta:
+            # carry our dirty words along so the bypass does not lose them
+            carried = {w: snapshot.data.word(w) for w in snapshot.meta}
+            self.stats.inc("dirty_words_carried_on_bypass", len(carried))
+            ctx["carried"] = carried
+        return ViState.I
 
     def _on_wt_ack(self, msg: Message) -> None:
         queue = self._wt_pending.get(msg.addr)
@@ -375,24 +477,41 @@ class TccController(Controller):
 
     def _on_probe(self, msg: Message) -> None:
         self.stats.inc("probes_received")
+        event = _PROBE_EVENT.get(msg.probe_type)
+        if event is None:
+            raise TccError(f"{self.name}: bad probe {msg!r}")
         cached = self.array.lookup(msg.addr, touch=False)
-        had_copy = cached is not None
+        prev = ViState.I if cached is None else ViState.V
+        self._fire(msg.addr, event, prev, (msg, cached))
+
+    def _act_probe_inv(self, ctx: tuple) -> ViState:
+        msg, cached = ctx
         forwarded: dict[int, int] | None = None
-        if msg.probe_type is ProbeType.INVALIDATE and had_copy:
-            if cached.dirty and cached.meta:
-                # The TCC never forwards *line* data on probes (§II-C), but
-                # its word-granular dirty mask must not be lost under false
-                # sharing: the modified words ride in the ack (the gem5
-                # byte-mask equivalent; see DESIGN.md).
-                forwarded = {w: cached.data.word(w) for w in cached.meta}
-                self.stats.inc("dirty_words_forwarded_on_probe", len(forwarded))
-            self.array.invalidate(msg.addr)
+        if cached.dirty and cached.meta:
+            # The TCC never forwards *line* data on probes (§II-C), but
+            # its word-granular dirty mask must not be lost under false
+            # sharing: the modified words ride in the ack (the gem5
+            # byte-mask equivalent; see DESIGN.md).
+            forwarded = {w: cached.data.word(w) for w in cached.meta}
+            self.stats.inc("dirty_words_forwarded_on_probe", len(forwarded))
+        self.array.invalidate(msg.addr)
         self.network.send(
             Message.probe_ack(
-                self.name, msg.src, msg.addr, msg.tid, had_copy=had_copy,
+                self.name, msg.src, msg.addr, msg.tid, had_copy=True,
                 word_updates=forwarded,
             )
         )
+        return ViState.I
+
+    def _act_probe_noop(self, ctx: tuple) -> None:
+        msg, cached = ctx
+        self.network.send(
+            Message.probe_ack(
+                self.name, msg.src, msg.addr, msg.tid,
+                had_copy=cached is not None,
+            )
+        )
+        return None  # state unchanged
 
     # -- bookkeeping -----------------------------------------------------------------------------
 
@@ -421,3 +540,8 @@ def _apply(data: LineData, updates: dict[int, int]) -> LineData:
     for index, value in updates.items():
         data = data.with_word(index, value)
     return data
+
+
+#: shared by every TCC (immutable once built; built here because the rows
+#: bind the action methods above)
+_TCC_TABLE = build_tcc_table()

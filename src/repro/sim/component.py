@@ -72,6 +72,13 @@ class Controller(Component):
         super().__init__(sim, name, clock)
         self.service_cycles = service_cycles
         self._next_free = 0
+        #: transition observers (repro.coherence.engine.TransitionHook);
+        #: a tuple so the per-fire "any hooks?" check is a cheap truth test.
+        self.fsm_hooks: tuple = ()
+
+    def add_fsm_hook(self, hook) -> None:
+        """Attach a TransitionHook to this controller's protocol FSM fires."""
+        self.fsm_hooks = self.fsm_hooks + (hook,)
 
     def deliver(self, msg: Any) -> None:
         """Accept a message from the network; called at arrival time.

@@ -1,20 +1,29 @@
 """Protocol tracing — the gem5 ``--debug-flags=ProtocolTrace`` analogue.
 
-Attach a :class:`ProtocolTrace` to a system (or a single directory) and
-every directory-level protocol event — request accepted, probes sent,
-response, transaction complete — lands in a bounded ring buffer that can be
-filtered by address and rendered as aligned text.  The hooks are free when
-no trace is attached (a ``None`` check per event).
+:class:`ProtocolTrace` is a
+:class:`~repro.coherence.engine.TransitionHook`: attach it to a system (or
+individual controllers) and every *protocol transition* — each
+``(state, event, next_state)`` step a declared
+:class:`~repro.coherence.engine.TransitionTable` takes — lands in a bounded
+ring buffer that can be filtered by address/event and rendered as aligned
+text.  Because the records come from the engine's single dispatch point,
+the trace vocabulary is exactly the tables' (Fig. 2 / Table I states and
+events), not ad-hoc strings, and covers all controller classes: the
+directories (Figure-2 transaction + Table I entry transitions), the
+CorePair MOESI L2s, and the TCC VI caches.  The (passive) LLC slices are
+covered by lightweight access records through :meth:`attach_llc`.
+
+The hooks are free when no trace is attached: controllers dispatch hooks
+off an empty tuple, and the LLC off a ``None`` check per access.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import Iterable
 
-if TYPE_CHECKING:
-    from repro.coherence.directory import DirectoryController
+from repro.coherence.engine import TransitionHook, state_label
 
 
 @dataclass(frozen=True)
@@ -29,8 +38,10 @@ class TraceEvent:
         return f"{self.time:>12} {self.source:<6} {self.event:<10} {self.addr:#08x} {self.detail}"
 
 
-class ProtocolTrace:
-    """Bounded ring buffer of directory protocol events."""
+class ProtocolTrace(TransitionHook):
+    """Bounded ring buffer of protocol transitions."""
+
+    __slots__ = ("capacity", "_events", "dropped")
 
     def __init__(self, capacity: int = 10_000) -> None:
         self.capacity = capacity
@@ -39,15 +50,32 @@ class ProtocolTrace:
 
     # -- attachment ------------------------------------------------------------
 
-    def attach(self, *directories: "DirectoryController") -> "ProtocolTrace":
-        for directory in directories:
-            directory.trace = self
+    def attach(self, *controllers) -> "ProtocolTrace":
+        """Observe every protocol transition of the given controllers."""
+        for controller in controllers:
+            controller.add_fsm_hook(self)
+        return self
+
+    def attach_llc(self, llc, sim, name: str) -> "ProtocolTrace":
+        """Record the (passive, table-less) LLC slice's accesses too."""
+        llc.attach_trace(self, sim, name)
         return self
 
     def attach_system(self, system) -> "ProtocolTrace":
-        return self.attach(*system.directories)
+        """Attach to every protocol controller in the system: directories,
+        CorePair L2s, TCC banks, and the LLC slices."""
+        self.attach(*system.directories, *system.corepairs, *system.tccs)
+        for index, llc in enumerate(system.llcs):
+            self.attach_llc(llc, system.sim, f"llc{index}")
+        return self
 
     # -- recording ---------------------------------------------------------------
+
+    def on_transition(self, controller, addr, state, event, next_state) -> None:
+        self.record(
+            controller.now, controller.name, event, addr,
+            f"{state_label(state)} -> {state_label(next_state)}",
+        )
 
     def record(self, time: int, source: str, event: str, addr: int, detail: str = "") -> None:
         if len(self._events) == self.capacity:
@@ -74,7 +102,7 @@ class ProtocolTrace:
         rows = self.events(addr=addr)
         if limit is not None:
             rows = rows[-limit:]
-        header = f"{'time':>12} {'dir':<6} {'event':<10} {'addr':<10} detail"
+        header = f"{'time':>12} {'src':<6} {'event':<10} {'addr':<10} detail"
         body = "\n".join(str(event) for event in rows)
         suffix = f"\n({self.dropped} earlier events dropped)" if self.dropped else ""
         return f"{header}\n{body}{suffix}" if body else f"{header}\n(empty){suffix}"

@@ -1,7 +1,10 @@
 """Global coherence invariant monitoring.
 
-A :class:`CoherenceMonitor` hooks the directory's transaction-completion
-callback and, for the affected line, checks the *whole system's* state:
+A :class:`CoherenceMonitor` is a
+:class:`~repro.coherence.engine.TransitionHook` attached to every directory
+bank: whenever a Figure-2 transaction FSM transitions back to the unblocked
+``"U"`` state (a transaction completing), it checks the *whole system's*
+state for the affected line:
 
 MOESI invariants over the CorePair L2 arrays:
 
@@ -20,7 +23,10 @@ Precise-directory consistency (when the system runs a §IV directory):
   sharer, or covered by a limited-pointer overflow).
 
 Transaction completions are the protocol's consistent points, which is why
-checks run there and not at arbitrary times.  The monitor assumes
+checks run on transitions into ``"U"`` and not at arbitrary times.  (The
+directory FSM hooks also fire Table I transitions, whose states are
+:class:`~repro.protocol.types.DirState` members and never the string
+``"U"``, so those do not trigger checks.)  The monitor assumes
 ``dma_updates_dir_state`` (the default); with it disabled the directory
 intentionally keeps stale entries and the directory checks would misfire.
 """
@@ -29,6 +35,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.coherence.engine import TransitionHook
 from repro.coherence.precise import PreciseDirectory
 from repro.protocol.types import DirState, MoesiState
 from repro.sim.event_queue import SimulationError
@@ -41,7 +48,7 @@ class InvariantViolation(SimulationError):
     pass
 
 
-class CoherenceMonitor:
+class CoherenceMonitor(TransitionHook):
     """Attach with ``CoherenceMonitor(system)``; violations raise by default."""
 
     def __init__(self, system: "ApuSystem", raise_on_violation: bool = True) -> None:
@@ -50,12 +57,13 @@ class CoherenceMonitor:
         self.checks_run = 0
         self.violations: list[str] = []
         for directory in getattr(system, "directories", [system.directory]):
-            directory.on_transaction_complete = self._on_complete
+            directory.add_fsm_hook(self)
 
     # -- hooks ------------------------------------------------------------------
 
-    def _on_complete(self, _directory, addr: int) -> None:
-        self.check_line(addr)
+    def on_transition(self, controller, addr, state, event, next_state) -> None:
+        if next_state == "U":  # a Figure-2 transaction reaching its commit point
+            self.check_line(addr)
 
     # -- checks ------------------------------------------------------------------
 

@@ -9,6 +9,13 @@ answer probes accordingly).  After every quiesced step the real directory's
 
 This checks the directory's bookkeeping logic independently of timing,
 complementing the system-level random stress test.
+
+The driver is additionally *table-aware*: for every request it issues, the
+observed (prior state, request, settled state) step must be one of the
+transitions the shipped Table I :class:`TransitionTable` declares — so the
+randomized exploration also certifies that no run ever leaves the declared
+table, and the golden model, the implementation, and the declarations are
+checked against each other in one place.
 """
 
 from __future__ import annotations
@@ -142,6 +149,8 @@ class ConsistentCaches:
     def __init__(self, harness: DirHarness, golden: GoldenDirectory) -> None:
         self.h = harness
         self.golden = golden
+        #: the shipped Table I declarations — every observed step must be in it
+        self.table1 = harness.directory.table1
 
     def sync_probe_behaviors(self) -> None:
         for index, name in enumerate(L2S):
@@ -155,6 +164,18 @@ class ConsistentCaches:
             else:
                 cache.probe_behavior.pop(ADDR, None)
 
+    def _issue(self, requester, mtype: MsgType, **kwargs) -> None:
+        """Issue one request and check the step stays inside the table."""
+        prior, _ = self.h.directory.snapshot_entry(ADDR)
+        requester.request(mtype, ADDR, **kwargs)
+        self.h.run()
+        settled, _ = self.h.directory.snapshot_entry(ADDR)
+        declared = self.table1.declared_nexts(prior, mtype.value)
+        assert settled in declared, (
+            f"({prior}, {mtype.value}) settled in {settled}, "
+            f"not among declared next-states {declared}"
+        )
+
     def step(self, action: tuple[str, int]) -> None:
         kind, who = action
         requester = self.h.l2s[who]
@@ -163,22 +184,19 @@ class ConsistentCaches:
             if golden.cache[L2S[who]] is not MoesiState.I:
                 return  # a holder never re-requests (footnote a)
             self.sync_probe_behaviors()
-            requester.request(MsgType.RDBLK, ADDR)
-            self.h.run()
+            self._issue(requester, MsgType.RDBLK)
             golden.rdblk(L2S[who])
         elif kind == "rdblks":
             if golden.cache[L2S[who]] is not MoesiState.I:
                 return
             self.sync_probe_behaviors()
-            requester.request(MsgType.RDBLKS, ADDR)
-            self.h.run()
+            self._issue(requester, MsgType.RDBLKS)
             golden.rdblks(L2S[who])
         elif kind == "store":
             if golden.store_hit(L2S[who]):
                 return  # silent E->M: no directory interaction
             self.sync_probe_behaviors()
-            requester.request(MsgType.RDBLKM, ADDR)
-            self.h.run()
+            self._issue(requester, MsgType.RDBLKM)
             golden.rdblkm(L2S[who])
         elif kind == "vic":
             state = golden.cache[L2S[who]]
@@ -187,15 +205,13 @@ class ConsistentCaches:
             dirty = state in (MoesiState.M, MoesiState.O)
             golden.vic(L2S[who])
             mtype = MsgType.VIC_DIRTY if dirty else MsgType.VIC_CLEAN
-            requester.request(mtype, ADDR, data=ZERO_LINE.with_word(0, 1))
-            self.h.run()
+            self._issue(requester, mtype, data=ZERO_LINE.with_word(0, 1))
         elif kind == "atomic":
             from repro.protocol.atomics import AtomicOp
 
             self.sync_probe_behaviors()
             golden.atomic()
-            self.h.tcc.request(MsgType.ATOMIC, ADDR, atomic_op=AtomicOp.INC, word=0)
-            self.h.run()
+            self._issue(self.h.tcc, MsgType.ATOMIC, atomic_op=AtomicOp.INC, word=0)
 
     def assert_matches(self) -> None:
         state, entry = self.h.directory.snapshot_entry(ADDR)

@@ -279,6 +279,110 @@ class TestFromO:
         assert h.llc.peek(ADDR).word(0) == 5
 
 
+class TestTableIDeclaration:
+    """Enumerate the *declared* transition table and diff it against a
+    literal transcription of the paper's Table I.
+
+    Every (state, request) cell is asserted — next-state sets for the
+    handled cells, explicit illegality for the blank ones ("missing
+    transitions ... are illegal") — so the code and the paper's Table I
+    cannot drift apart without a test failing.
+    """
+
+    # Table I, transcribed.  Multi-state cells list every outcome the row's
+    # footnotes allow (e.g. (I, RdBlk) -> O normally, S for a read-only
+    # region scan, I when the line is untracked read-only).
+    PAPER = {
+        ("I", "RdBlk"): {"O", "S", "I"},
+        ("I", "RdBlkS"): {"S", "I"},
+        ("I", "RdBlkM"): {"O"},
+        ("I", "VicDirty"): {"I"},   # stale victim, dropped
+        ("I", "VicClean"): {"I"},   # stale victim, dropped
+        ("I", "WT"): {"I"},
+        ("I", "Atomic"): {"I"},
+        ("I", "DMARd"): {"I"},
+        ("I", "DMAWr"): {"I"},
+        ("S", "RdBlk"): {"S"},
+        ("S", "RdBlkS"): {"S"},
+        ("S", "RdBlkM"): {"O"},
+        ("S", "VicDirty"): {"S"},   # illegal per Table I; dropped as stale
+        ("S", "VicClean"): {"S", "I"},
+        ("S", "WT"): {"S", "I"},
+        ("S", "Atomic"): {"I"},
+        ("S", "DMARd"): {"S"},
+        ("S", "DMAWr"): {"I"},
+        ("O", "RdBlk"): {"O", "S"},
+        ("O", "RdBlkS"): {"O", "S"},
+        ("O", "RdBlkM"): {"O"},
+        ("O", "VicDirty"): {"O", "S", "I"},
+        ("O", "VicClean"): {"O", "S", "I"},
+        ("O", "WT"): {"S", "I"},
+        ("O", "Atomic"): {"I"},
+        ("O", "DMARd"): {"O"},
+        ("O", "DMAWr"): {"I"},
+        # entry evictions run as two-step transactions through B
+        ("S", "DirEvict"): {"B"},
+        ("O", "DirEvict"): {"B"},
+        ("B", "EvictDone"): {"I"},
+    }
+
+    @staticmethod
+    def table(policy_name="sharers", **overrides):
+        from repro.coherence.precise import build_table1
+
+        policy = PRESETS[policy_name]
+        if overrides:
+            policy = policy.named(**overrides)
+        return build_table1(policy)
+
+    def test_every_cell_matches_the_paper(self):
+        from repro.coherence.engine import state_label
+
+        table = self.table()
+        declared = {}
+        illegal = set()
+        for state in table.states:
+            for event in table.events:
+                transitions = list(table.lookup(state, event))
+                assert transitions, "lint covers this; belt and braces"
+                if all(t.kind == "illegal" for t in transitions):
+                    illegal.add((state_label(state), event))
+                else:
+                    declared[(state_label(state), event)] = {
+                        state_label(s)
+                        for s in table.declared_nexts(state, event)
+                    }
+        assert declared == self.PAPER
+        # the blank Table I cells are exactly the declared-illegal ones
+        all_cells = {
+            (state_label(s), e) for s in table.states for e in table.events
+        }
+        assert illegal == all_cells - set(self.PAPER)
+
+    def test_no_unhandled_pairs(self):
+        assert self.table().unhandled_pairs() == []
+        assert self.table("owner").unhandled_pairs() == []
+
+    def test_dma_keeps_dir_state_overlay(self):
+        """§VI knob: with ``dma_updates_dir_state`` off, DMA writes leave
+        the entry alone instead of freeing it."""
+        from repro.coherence.engine import state_label
+
+        table = self.table(dma_updates_dir_state=False)
+        assert {state_label(s) for s in table.declared_nexts(DirState.S, "DMAWr")} == {"S"}
+        assert {state_label(s) for s in table.declared_nexts(DirState.O, "DMAWr")} == {"O"}
+
+    def test_conservative_vicdirty_overlay(self):
+        """§VII variant: a VicDirty invalidates the sharers, so the entry
+        can never settle in S."""
+        from repro.coherence.engine import state_label
+
+        table = self.table(vicdirty_invalidates_sharers=True)
+        for event in ("VicDirty", "VicClean"):
+            nexts = {state_label(s) for s in table.declared_nexts(DirState.O, event)}
+            assert "S" not in nexts, (event, nexts)
+
+
 @pytest.mark.parametrize("policy_name", ["owner", "sharers"])
 class TestBothTrackingModes:
     """The Table I transitions that must hold in both tracking modes."""

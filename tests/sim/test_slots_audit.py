@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.coherence.directory_entry import DirEntry
+from repro.coherence.engine import ProtocolFSM, Transition, TransitionTable
 from repro.coherence.transactions import Transaction
 from repro.mem.block import LineData
 from repro.mem.cache_array import CacheLine
@@ -18,7 +19,8 @@ from repro.protocol.messages import Message
 from repro.protocol.types import MsgType
 from repro.sim.stats import StatGroup
 
-HOT_CLASSES = [Message, Transaction, CacheLine, DirEntry, LineData, StatGroup]
+HOT_CLASSES = [Message, Transaction, CacheLine, DirEntry, LineData, StatGroup,
+               ProtocolFSM, Transition]
 
 
 def _instance(cls):
@@ -30,6 +32,11 @@ def _instance(cls):
         return DirEntry(track_identities=True)
     if cls is StatGroup:
         return StatGroup("g")
+    if cls is ProtocolFSM:
+        # one FSM per in-flight transaction / resident M-O-E-S line
+        return ProtocolFSM(TransitionTable("t", ("A",), ("e",), "A"), "A")
+    if cls is Transition:
+        return Transition("A", "e", ("A",), None, None, "handled", "", None)
     return cls()
 
 
