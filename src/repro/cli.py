@@ -10,6 +10,9 @@ Subcommands:
   persistent result cache (``--jobs``, ``--no-cache``, ``--clear-cache``).
 - ``lint-protocol`` — statically lint every shipped transition table
   (unhandled pairs, unreachable states, dead transitions).
+- ``litmus`` — run the litmus suite across schedules and policy variants
+  (``--all``), minimize failures to replayable artifacts (``--minimize``),
+  and replay dumped artifacts (``--replay``).
 - ``list`` — list bundled workloads and policy presets.
 """
 
@@ -133,6 +136,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lint_p.add_argument("--describe", action="store_true",
                         help="also print each table's declared transitions")
+
+    lit_p = sub.add_parser(
+        "litmus",
+        help="run coherence litmus tests across schedules and policy "
+             "variants; minimize and replay failing traces",
+    )
+    lit_p.add_argument("tests", nargs="*", metavar="TEST",
+                       help="litmus test names (default: the whole suite)")
+    lit_p.add_argument("--all", action="store_true",
+                       help="run the whole suite (explicit form of the "
+                            "no-name default)")
+    lit_p.add_argument("--list", action="store_true",
+                       help="list registered litmus tests and exit")
+    lit_p.add_argument("--schedules", type=_positive_int, default=8,
+                       metavar="N", help="explored interleavings per "
+                       "(test, policy) pair (default 8)")
+    lit_p.add_argument("--policies", nargs="+", default=None, metavar="P",
+                       help="policy variants to sweep (default: all 12; "
+                            "see --list)")
+    lit_p.add_argument("--minimize", action="store_true",
+                       help="shrink each failing triple to a minimal "
+                            "reproducer and dump a replayable artifact")
+    lit_p.add_argument("--artifact-dir", default=".", metavar="DIR",
+                       help="where --minimize writes artifacts (default .)")
+    lit_p.add_argument("--replay", metavar="JSON", default=None,
+                       help="replay a dumped reproducer artifact instead "
+                            "of sweeping")
+    lit_p.add_argument("--trace", type=int, metavar="N", default=0,
+                       help="with --replay: print the last N protocol "
+                            "trace events")
+    lit_p.add_argument("-v", "--verbose", action="store_true",
+                       help="print every (policy, schedule) run")
 
     val_p = sub.add_parser("validate",
                            help="check every headline claim (scorecard)")
@@ -360,6 +395,104 @@ def _lint_protocol(args) -> int:
     return 0 if clean else 1
 
 
+def _litmus(args) -> int:
+    import os
+    import time
+
+    from repro.verify.litmus import (
+        POLICY_VARIANTS,
+        REGISTRY,
+        default_schedules,
+        dump_artifact,
+        get_litmus,
+        load_artifact,
+        minimize_failure,
+        replay_artifact,
+        run_differential,
+    )
+
+    if args.replay:
+        recorded = load_artifact(args.replay)["failure"]["kind"]
+        outcome = replay_artifact(args.replay, trace=bool(args.trace))
+        print(outcome.describe())
+        reproduced = outcome.failure_kind == recorded
+        print(f"recorded failure kind: {recorded}; "
+              f"reproduced: {'yes' if reproduced else 'NO'}")
+        if not reproduced and outcome.ok:
+            print("(fault-injected artifacts only reproduce under the same "
+                  "mutate_system hook — see tests/verify/litmus)")
+        if args.trace and outcome.trace_text:
+            print("\nprotocol trace (tail)")
+            print(outcome.trace_text)
+        return 0 if reproduced else 1
+
+    if args.list:
+        width = max(len(name) for name in REGISTRY)
+        for name, test in REGISTRY.items():
+            print(f"  {name:<{width}}  {test.description}")
+        print("\npolicy variants:")
+        for name in POLICY_VARIANTS:
+            print(f"  {name}")
+        return 0
+
+    names = args.tests or sorted(REGISTRY)
+    tests = [get_litmus(name) for name in names]
+    if args.policies:
+        unknown = set(args.policies) - set(POLICY_VARIANTS)
+        if unknown:
+            print(f"unknown policy variants: {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+        policies = {name: POLICY_VARIANTS[name] for name in args.policies}
+    else:
+        policies = POLICY_VARIANTS
+    schedules = default_schedules(args.schedules)
+
+    start = time.perf_counter()
+    total_runs = failures = mismatches = 0
+    failed_reports = []
+    for test in tests:
+        report = run_differential(test, policies=policies,
+                                  schedules=schedules)
+        total_runs += len(report.outcomes)
+        failures += len(report.failures)
+        mismatches += len(report.mismatches)
+        status = "ok" if report.ok else "FAIL"
+        print(f"  {test.name:<26} {len(report.outcomes):>4} runs  {status}")
+        if args.verbose:
+            for outcome in report.outcomes:
+                print(f"    {outcome.describe()}")
+        if not report.ok:
+            failed_reports.append(report)
+            print(report.describe())
+
+    elapsed = time.perf_counter() - start
+    print(f"\n[litmus] {len(tests)} tests x {len(policies)} policies x "
+          f"{len(schedules)} schedules = {total_runs} runs in {elapsed:.1f}s: "
+          f"{failures} failure(s), {mismatches} differential mismatch(es)")
+
+    if failed_reports and args.minimize:
+        os.makedirs(args.artifact_dir, exist_ok=True)
+        for report in failed_reports:
+            fail = next((o for o in report.failures), None)
+            if fail is None:
+                continue  # mismatch-only report: nothing to shrink
+            result = minimize_failure(
+                get_litmus(fail.test), fail.policy, fail.schedule
+            )
+            if result is None:
+                print(f"  {fail.test}: failure did not reproduce during "
+                      f"minimization (flaky?)")
+                continue
+            path = os.path.join(
+                args.artifact_dir,
+                f"litmus-{fail.test}-{fail.policy.replace('+', '_')}.json",
+            )
+            dump_artifact(result, path)
+            print(f"  minimized: {result.describe()}\n  artifact: {path}")
+    return 0 if not failed_reports else 1
+
+
 def _validate(args) -> int:
     from repro.analysis.validate import build_scorecard, scorecard_text
 
@@ -394,6 +527,8 @@ def main(argv: list[str] | None = None) -> int:
         return _profile(args)
     if args.command == "lint-protocol":
         return _lint_protocol(args)
+    if args.command == "litmus":
+        return _litmus(args)
     if args.command == "validate":
         return _validate(args)
     return _list()

@@ -367,6 +367,30 @@ class PreciseDirectory(DirectoryController):
     def _act_t1_keep(self, txn: Transaction) -> DirState:
         return self.dir_state(txn.addr)
 
+    def _act_t1_dma_rd(self, txn: Transaction) -> DirState:
+        line = self.entry_line(txn.addr)
+        if line is not None and line.state is DirState.O:
+            entry: DirEntry = line.meta
+            if txn.dirty_data is not None:
+                pass  # dirty owner answered the probe and keeps write-back duty
+            elif txn.any_copy_acked:
+                # Footnote f analogue: the owner held E and the DMA probe
+                # downgraded it to S; the line is now clean-shared.
+                old_owner = entry.owner
+                line.state = DirState.S
+                entry.owner = None
+                if old_owner is not None:
+                    entry.add_sharer(old_owner)
+            else:
+                # The owner's copy was gone (victim in flight, later dropped
+                # as stale): surviving sharers keep a clean-shared entry.
+                entry.owner = None
+                if entry.sharer_count > 0 or entry.overflow:
+                    line.state = DirState.S
+                else:
+                    self._drop_entry(line)
+        return self.dir_state(txn.addr)
+
     def _act_t1_victim(self, txn: Transaction) -> DirState:
         self._update_after_victim(txn, self.entry_line(txn.addr))
         return self.dir_state(txn.addr)
@@ -596,8 +620,11 @@ def build_table1(policy: DirectoryPolicy) -> TransitionTable:
     table.on(O, wt, (S, I), action=P._act_t1_wt,
              note="write-back frees the entry; streaming WT may keep the TCC")
     table.on(O, atomic, I, action=P._act_t1_drop)
-    table.on(O, dma_rd, O, action=P._act_t1_keep,
-             note="DMA read is served by probing the owner; state unchanged")
+    table.on(O, dma_rd, (O, S, I), action=P._act_t1_dma_rd,
+             note="DMA read probes the owner: a dirty owner answers and "
+                  "keeps O (fn. d); a clean E owner downgrades to S (fn. f); "
+                  "a vanished owner leaves sharers clean-shared or frees "
+                  "the entry")
     if policy.dma_updates_dir_state:
         table.on(O, dma_wr, I, action=P._act_t1_drop)
     else:

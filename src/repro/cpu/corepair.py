@@ -177,6 +177,10 @@ class CorePair(Controller):
         self._vic_pending: dict[int, _PendingVictim] = {}
         #: per-line MOESI FSMs; lines at rest in I carry no entry
         self._fsms: dict[int, ProtocolFSM] = {}
+        #: the MOESI table this instance dispatches through.  Normally the
+        #: shared module table; tests overlay a mutated copy here (before
+        #: any traffic) to inject protocol faults for the litmus minimizer.
+        self.moesi_table: TransitionTable = _COREPAIR_TABLE
 
     # -- protocol FSM ----------------------------------------------------------
 
@@ -189,7 +193,7 @@ class CorePair(Controller):
         """
         fsm = self._fsms.get(line)
         if fsm is None:
-            fsm = self._fsms[line] = ProtocolFSM(_COREPAIR_TABLE, prev)
+            fsm = self._fsms[line] = ProtocolFSM(self.moesi_table, prev)
         else:
             fsm.state = prev
         nxt = fsm.fire(event, self, line, ctx)

@@ -41,6 +41,12 @@ class EventQueue:
     :meth:`schedule_after`.  The second form lets hot paths schedule a
     preallocated bound method plus its payload instead of allocating a fresh
     closure per event — the dominant per-message cost in the old kernel.
+
+    *Schedule exploration* (:meth:`set_tie_break`): tests can replace the
+    FIFO tie-break among same-``(time, priority)`` events with a seeded
+    random permutation, exploring alternative *legal* event orders the
+    default schedule never samples.  Every explored schedule is still fully
+    deterministic for a given seed.
     """
 
     def __init__(self) -> None:
@@ -48,9 +54,27 @@ class EventQueue:
         self._seq = 0
         self.now = 0
         self.executed_events = 0
+        #: optional RNG permuting same-(time, priority) ordering (see
+        #: :meth:`set_tie_break`); None = deterministic FIFO.
+        self._tie_break = None
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    def set_tie_break(self, rng) -> None:
+        """Permute the ordering of same-``(time, priority)`` events.
+
+        ``rng`` is a seeded :class:`random.Random` (or None to restore FIFO
+        order).  Each newly scheduled event's sequence number gains a random
+        high-order key, so events that tie on time and priority run in a
+        seeded-random (but reproducible) order instead of FIFO.  Low-order
+        bits keep the raw sequence, so keys stay unique and the heap never
+        falls through to comparing callbacks.
+
+        This is the litmus suite's schedule-exploration hook; production
+        runs never call it and pay only a None-check per scheduled event.
+        """
+        self._tie_break = rng
 
     def schedule(
         self,
@@ -66,6 +90,8 @@ class EventQueue:
             )
         seq = self._seq
         self._seq = seq + 1
+        if self._tie_break is not None:
+            seq |= self._tie_break.getrandbits(32) << 32
         _heappush(self._heap, (when, priority, seq, callback, arg))
 
     def schedule_after(
@@ -89,6 +115,8 @@ class EventQueue:
             )
         seq = self._seq
         self._seq = seq + 1
+        if self._tie_break is not None:
+            seq |= self._tie_break.getrandbits(32) << 32
         _heappush(self._heap, (when, priority, seq, callback, arg))
 
     def pop_and_run(self) -> None:

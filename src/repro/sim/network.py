@@ -88,6 +88,32 @@ class Network(Component):
     def kind_of(self, name: str) -> str:
         return self._kinds[name]
 
+    def kinds(self) -> list[str]:
+        """Every endpoint kind currently attached, sorted."""
+        return sorted(set(self._kinds.values()))
+
+    def jitter_latencies(self, rng, max_extra_cycles: int = 3) -> None:
+        """Schedule exploration: perturb every kind-pair latency.
+
+        Adds a seeded-random 0..``max_extra_cycles`` to each directed
+        ``(src_kind, dst_kind)`` latency (directions drawn independently, so
+        request and response paths can skew against each other).  Call after
+        all endpoints are attached; routes are invalidated like
+        :meth:`set_latency`.  The litmus schedule-exploration driver uses
+        this to reorder in-flight protocol messages across runs without ever
+        creating an illegal schedule — latency is still deterministic per
+        route within one run.
+        """
+        for src in self.kinds():
+            for dst in self.kinds():
+                base = self._latency_table.get(
+                    (src, dst), self.default_latency_cycles
+                )
+                self._latency_table[(src, dst)] = base + rng.randrange(
+                    max_extra_cycles + 1
+                )
+        self._routes.clear()
+
     # -- transport --------------------------------------------------------
 
     def latency_cycles(self, src: str, dst: str) -> float:

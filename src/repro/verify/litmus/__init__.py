@@ -1,0 +1,68 @@
+"""Litmus-test verification: DSL, registry, schedule exploration,
+cross-policy differential checking, and failing-trace minimization.
+
+The classic memory-model litmus shapes (MP, SB, CoRR, IRIW, ...) adapted to
+this simulator's heterogeneous agents — CPU threads, GPU wavefronts, DMA
+transfers — and run under many controlled interleavings against every
+directory policy variant.  See DESIGN.md's "Verification" section for the
+architecture and ``python -m repro litmus --help`` for the CLI.
+"""
+
+from repro.verify.litmus.dsl import (
+    CompiledLitmus,
+    DmaSpec,
+    LitmusEnv,
+    LitmusError,
+    LitmusTest,
+    SpinTimeout,
+)
+from repro.verify.litmus.harness import (
+    LITMUS_MAX_EVENTS,
+    POLICY_VARIANTS,
+    DifferentialReport,
+    LitmusOutcome,
+    run_differential,
+    run_litmus,
+    run_schedules,
+)
+from repro.verify.litmus.minimize import (
+    MinimizationResult,
+    dump_artifact,
+    load_artifact,
+    minimize_failure,
+    replay_artifact,
+)
+from repro.verify.litmus.registry import (
+    L2_CONFLICT_STRIDE,
+    REGISTRY,
+    all_litmus_tests,
+    get_litmus,
+)
+from repro.verify.litmus.schedule import Schedule, default_schedules
+
+__all__ = [
+    "CompiledLitmus",
+    "DifferentialReport",
+    "DmaSpec",
+    "L2_CONFLICT_STRIDE",
+    "LITMUS_MAX_EVENTS",
+    "LitmusEnv",
+    "LitmusError",
+    "LitmusOutcome",
+    "LitmusTest",
+    "MinimizationResult",
+    "POLICY_VARIANTS",
+    "REGISTRY",
+    "Schedule",
+    "SpinTimeout",
+    "all_litmus_tests",
+    "default_schedules",
+    "dump_artifact",
+    "get_litmus",
+    "load_artifact",
+    "minimize_failure",
+    "replay_artifact",
+    "run_differential",
+    "run_litmus",
+    "run_schedules",
+]

@@ -1,0 +1,267 @@
+"""Litmus execution harness: one run, schedule sweeps, policy differentials.
+
+:func:`run_litmus` executes one ``(test, policy, schedule)`` triple on a
+freshly built small system with full verification attached (coherence
+invariant monitor + value oracle) and classifies the outcome into a
+*failure kind*:
+
+================  ============================================================
+``invariant``     the :class:`CoherenceMonitor` raised mid-run
+``spin_timeout``  a litmus spin exhausted its polling budget (lost flag store)
+``crash``         any other exception (deadlock, event backstop, harness bug)
+``oracle``        a load observed a value nobody wrote
+``postcondition`` the test's own exact postcondition failed
+================  ============================================================
+
+Kinds are ordered by severity and preserved by the minimizer, so shrinking
+cannot wander from (say) an invariant violation to an unrelated spin
+timeout.
+
+:func:`run_differential` is the cross-policy oracle: the same litmus, swept
+over every schedule and every :data:`POLICY_VARIANTS` entry, must converge
+to identical final memory — the litmus suite only contains tests whose
+final state is schedule-independent, so *any* divergence between policy
+variants is a bug in one of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.coherence.policies import (
+    OWNER_TRACKING,
+    PRESETS,
+    SHARER_TRACKING,
+    DirectoryPolicy,
+)
+from repro.sim.tracing import ProtocolTrace
+from repro.system.builder import build_system
+from repro.system.config import SystemConfig
+from repro.verify.invariants import InvariantViolation
+from repro.verify.litmus.dsl import CompiledLitmus, LitmusEnv, LitmusTest, SpinTimeout
+from repro.verify.litmus.schedule import Schedule, default_schedules
+
+#: every policy the differential harness sweeps: the eight named presets
+#: plus four §VII variants that stress distinct protocol paths (conservative
+#: VicDirty handling, limited-pointer overflow broadcasts, state-aware
+#: directory replacement, and address-interleaved directory banks).
+POLICY_VARIANTS: dict[str, DirectoryPolicy] = {
+    **PRESETS,
+    "sharers+conservativeVicDirty": SHARER_TRACKING.named(
+        vicdirty_invalidates_sharers=True
+    ),
+    "sharers+limitedPtr": SHARER_TRACKING.named(sharer_pointer_limit=1),
+    "owner+stateAwareRepl": OWNER_TRACKING.named(
+        state_aware_dir_replacement=True
+    ),
+    "sharers+banked": SHARER_TRACKING.named(dir_banks=2),
+}
+
+#: event backstop per litmus run — far above any legitimate litmus (which
+#: completes in thousands of events) yet cheap to hit on a livelock
+LITMUS_MAX_EVENTS = 2_000_000
+
+#: severity order for failure kinds (minimizer keeps the kind fixed)
+FAILURE_KINDS = ("invariant", "spin_timeout", "crash", "oracle", "postcondition")
+
+
+@dataclass
+class LitmusOutcome:
+    """What one ``(test, policy, schedule)`` run produced."""
+
+    test: str
+    policy: str
+    schedule: Schedule
+    failure_kind: str | None = None
+    messages: list[str] = field(default_factory=list)
+    regs: dict[str, object] = field(default_factory=dict)
+    final_memory: dict[str, int] | None = None
+    ticks: int | None = None
+    trace_text: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure_kind is None
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else f"FAIL[{self.failure_kind}]"
+        head = f"{self.test} @ {self.policy} @ {self.schedule.label()}: {status}"
+        if self.messages:
+            head += "\n  " + "\n  ".join(self.messages[:8])
+        return head
+
+
+def _classify_exception(exc: BaseException) -> str:
+    if isinstance(exc, InvariantViolation):
+        return "invariant"
+    if isinstance(exc, SpinTimeout):
+        return "spin_timeout"
+    return "crash"
+
+
+def litmus_config(policy: DirectoryPolicy) -> SystemConfig:
+    """The system every litmus runs on: the scaled-down test config whose
+    small caches make evictions (and their races) reachable in a few ops."""
+    return SystemConfig.small(policy=policy)
+
+
+def run_litmus(
+    test: LitmusTest,
+    policy: DirectoryPolicy | None = None,
+    schedule: Schedule | None = None,
+    policy_name: str = "baseline",
+    max_events: int = LITMUS_MAX_EVENTS,
+    trace: bool = False,
+    trace_capacity: int = 4_000,
+    mutate_system: Callable[[object], None] | None = None,
+) -> LitmusOutcome:
+    """Run one litmus under one policy and one schedule.
+
+    ``mutate_system`` is a post-build hook (used by the fault-injection
+    tests to overlay a broken transition table on a controller); it runs
+    after the schedule's perturbations and before any traffic.
+    """
+    policy = POLICY_VARIANTS[policy_name] if policy is None else policy
+    schedule = schedule or Schedule(0)
+    system = build_system(litmus_config(policy))
+    schedule.apply(system)
+    if mutate_system is not None:
+        mutate_system(system)
+    protocol_trace = None
+    if trace:
+        protocol_trace = ProtocolTrace(capacity=trace_capacity)
+        protocol_trace.attach_system(system)
+
+    workload = CompiledLitmus(test)
+    outcome = LitmusOutcome(test.name, policy_name, schedule)
+    try:
+        result = system.run_workload(
+            workload, verify=True, max_events=max_events
+        )
+    except Exception as exc:  # classified, not swallowed: it IS the result
+        outcome.failure_kind = _classify_exception(exc)
+        outcome.messages.append(f"{type(exc).__name__}: {exc}")
+    else:
+        outcome.ticks = result.ticks
+        if result.check_errors:
+            outcome.failure_kind = "oracle"
+            outcome.messages.extend(result.check_errors)
+        elif test.postcondition is not None:
+            env = LitmusEnv(
+                dict(workload.regs),
+                lambda loc: system.coherent_word(workload.addr_of(loc)),
+            )
+            errors = test.postcondition(env)
+            if errors:
+                outcome.failure_kind = "postcondition"
+                outcome.messages.extend(errors)
+    outcome.regs = dict(workload.regs)
+    try:
+        outcome.final_memory = {
+            loc: system.coherent_word(workload.addr_of(loc))
+            for loc in test.layout
+        }
+    except Exception:  # mid-crash state may not be inspectable
+        outcome.final_memory = None
+    if protocol_trace is not None:
+        outcome.trace_text = protocol_trace.dump(limit=200)
+    return outcome
+
+
+def run_schedules(
+    test: LitmusTest,
+    policy_name: str = "baseline",
+    schedules: Iterable[Schedule] | None = None,
+    **kwargs,
+) -> list[LitmusOutcome]:
+    """One litmus, one policy, every schedule."""
+    schedules = list(schedules) if schedules is not None else default_schedules()
+    return [
+        run_litmus(
+            test,
+            policy=POLICY_VARIANTS[policy_name],
+            policy_name=policy_name,
+            schedule=schedule,
+            **kwargs,
+        )
+        for schedule in schedules
+    ]
+
+
+@dataclass
+class DifferentialReport:
+    """All outcomes of one litmus across policies × schedules, plus the
+    cross-run final-memory comparison."""
+
+    test: str
+    outcomes: list[LitmusOutcome]
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[LitmusOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.mismatches
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.test}: {len(self.outcomes)} runs, "
+            f"{len(self.failures)} failures, "
+            f"{len(self.mismatches)} differential mismatches"
+        ]
+        lines.extend(outcome.describe() for outcome in self.failures)
+        lines.extend(self.mismatches)
+        return "\n".join(lines)
+
+
+def run_differential(
+    test: LitmusTest,
+    policies: dict[str, DirectoryPolicy] | None = None,
+    schedules: Iterable[Schedule] | None = None,
+    **kwargs,
+) -> DifferentialReport:
+    """Sweep one litmus over every (policy, schedule) pair and demand that
+    all completed runs agree on final memory.
+
+    The suite's tests order their conflicting writes (spin flags, atomics),
+    so final memory is schedule- *and* policy-independent by construction;
+    the first completed run is the reference and every divergence is
+    reported as a mismatch.
+    """
+    policies = policies if policies is not None else POLICY_VARIANTS
+    schedules = list(schedules) if schedules is not None else default_schedules()
+    report = DifferentialReport(test.name, [])
+    reference: tuple[str, dict[str, int]] | None = None
+    for policy_name, policy in policies.items():
+        for schedule in schedules:
+            outcome = run_litmus(
+                test,
+                policy=policy,
+                policy_name=policy_name,
+                schedule=schedule,
+                **kwargs,
+            )
+            report.outcomes.append(outcome)
+            if outcome.final_memory is None or outcome.failure_kind in (
+                "invariant", "spin_timeout", "crash",
+            ):
+                continue
+            label = f"{policy_name} @ {schedule.label()}"
+            if reference is None:
+                reference = (label, outcome.final_memory)
+            elif outcome.final_memory != reference[1]:
+                diffs = {
+                    loc: (reference[1].get(loc), outcome.final_memory.get(loc))
+                    for loc in sorted(
+                        set(reference[1]) | set(outcome.final_memory)
+                    )
+                    if reference[1].get(loc) != outcome.final_memory.get(loc)
+                }
+                report.mismatches.append(
+                    f"{test.name}: final memory of {label} diverges from "
+                    f"{reference[0]}: {diffs}"
+                )
+    return report

@@ -1,0 +1,96 @@
+"""Controlled schedule exploration for litmus runs.
+
+One litmus outcome under one arbitrary schedule proves little; the classic
+Ruby-random-tester lineage replays each test under *many* interleavings.  A
+:class:`Schedule` names one deterministic interleaving via two knobs:
+
+- **latency jitter** — every ``(src_kind, dst_kind)`` fabric latency gains
+  a seeded 0..``jitter_cycles`` cycles (per direction), skewing request,
+  probe, response and victim paths against each other
+  (:meth:`Network.jitter_latencies`);
+- **tie-break permutation** — same-tick, same-priority events run in a
+  seeded-random order instead of FIFO
+  (:meth:`EventQueue.set_tie_break`).
+
+Both perturbations stay inside the simulator's legal behaviours (latency is
+a free parameter; tie order among simultaneous events is unspecified), so
+any violation they expose is a real protocol bug, not a harness artifact.
+``Schedule(0)`` — no jitter, FIFO ties — is the canonical schedule every
+other test in the repo runs under.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One deterministic interleaving: a seed plus perturbation knobs."""
+
+    seed: int = 0
+    jitter_cycles: int = 0   #: max extra fabric latency per kind pair
+    tie_break: bool = False  #: permute same-tick event order
+
+    @property
+    def is_canonical(self) -> bool:
+        return not self.jitter_cycles and not self.tie_break
+
+    def apply(self, system) -> None:
+        """Install this schedule's perturbations on a freshly built system.
+
+        Must run before any workload starts (routes are precomputed and the
+        tie-break only affects newly scheduled events).
+        """
+        if self.jitter_cycles:
+            system.network.jitter_latencies(
+                random.Random(self.seed * 2 + 1), self.jitter_cycles
+            )
+        if self.tie_break:
+            system.sim.events.set_tie_break(random.Random(self.seed * 2))
+
+    def label(self) -> str:
+        if self.is_canonical:
+            return f"s{self.seed}:canonical"
+        knobs = []
+        if self.jitter_cycles:
+            knobs.append(f"jitter{self.jitter_cycles}")
+        if self.tie_break:
+            knobs.append("tie")
+        return f"s{self.seed}:" + "+".join(knobs)
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed, "jitter_cycles": self.jitter_cycles,
+                "tie_break": self.tie_break}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Schedule":
+        return cls(**data)
+
+
+#: default per-kind-pair jitter range (cycles) for explored schedules
+DEFAULT_JITTER_CYCLES = 4
+
+
+def default_schedules(count: int = 8,
+                      jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> list[Schedule]:
+    """The standard exploration set: the canonical schedule plus a rotation
+    of jitter-only, tie-break-only, and combined perturbations.
+
+    Distinct seeds land on distinct schedules, so ``count`` is also the
+    number of genuinely different interleavings attempted (>= 8 in CI).
+    """
+    if count < 1:
+        raise ValueError("need at least one schedule")
+    schedules = [Schedule(0)]
+    for seed in range(1, count):
+        variant = seed % 3
+        schedules.append(
+            Schedule(
+                seed,
+                jitter_cycles=0 if variant == 2 else jitter_cycles,
+                tie_break=variant != 1,
+            )
+        )
+    return schedules

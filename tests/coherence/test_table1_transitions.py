@@ -318,7 +318,11 @@ class TestTableIDeclaration:
         ("O", "VicClean"): {"O", "S", "I"},
         ("O", "WT"): {"S", "I"},
         ("O", "Atomic"): {"I"},
-        ("O", "DMARd"): {"O"},
+        # Table I keeps O, which is right only for a *dirty* owner; the
+        # probe downgrades a clean E owner to S (footnote f), so the entry
+        # must follow — keeping the stale owner pointer violates the
+        # dir/cache agreement invariant (deviation documented in DESIGN.md)
+        ("O", "DMARd"): {"O", "S", "I"},
         ("O", "DMAWr"): {"I"},
         # entry evictions run as two-step transactions through B
         ("S", "DirEvict"): {"B"},

@@ -5,7 +5,8 @@ fast paths, tick-conversion memoization, ...) must never change *simulated*
 results.  This test runs three small figure-pipeline cells — covering the
 baseline, sharer-tracking, and llcWB+useL3OnWT policies — and compares the
 complete ``StatGroup.as_dict()`` dump plus every headline metric against a
-snapshot committed before the PR-2 hot-path optimization.
+snapshot committed before the PR-2 hot-path optimization (extended in
+PR 4 to cover every named policy preset).
 
 If this fails, an optimization changed simulated behaviour: that is a bug
 in the optimization, not a reason to regenerate the snapshot.  Regenerate
@@ -28,7 +29,18 @@ from repro.workloads.registry import get_workload
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_kernel_stats.json"
 GOLDEN_SCALE = 0.25
 GOLDEN_SEED = 0
-CELLS = [("cedd", "baseline"), ("sc", "sharers"), ("tq", "llcWB+useL3OnWT")]
+#: one cell per policy preset (every PRESETS entry is snapshotted),
+#: spread over distinct workloads for breadth
+CELLS = [
+    ("cedd", "baseline"),
+    ("sc", "sharers"),
+    ("tq", "llcWB+useL3OnWT"),
+    ("bs", "earlyDirtyResp"),
+    ("pad", "noWBcleanVic"),
+    ("rscd", "noCleanVicToLLC"),
+    ("hsti", "llcWB"),
+    ("trns", "owner"),
+]
 
 
 def _run_cell(workload: str, policy: str) -> dict:
@@ -81,6 +93,10 @@ def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
         assert actual[field] == expected[field], (
             f"{field}: golden {expected[field]} != actual {actual[field]}"
         )
+
+
+def test_every_policy_preset_has_a_golden_cell():
+    assert {policy for _w, policy in CELLS} == set(PRESETS)
 
 
 def _regenerate() -> None:  # pragma: no cover - manual tool

@@ -44,17 +44,27 @@ class RandomProgramWorkload(Workload):
     description = "hypothesis-generated false-sharing stress program"
     collaboration = "randomized"
 
+    #: lines in the DMA write region (disjoint from the CPU/GPU pool so
+    #: strictly-ordered DMA writes keep deterministic finals)
+    DMA_REGION_LINES = 4
+
     def __init__(self, num_threads: int, num_lines: int,
-                 thread_ops: list[list[tuple]], gpu_words: int) -> None:
+                 thread_ops: list[list[tuple]], gpu_words: int,
+                 dma_ops: list[tuple] | None = None) -> None:
         self.num_threads = num_threads
         self.num_lines = num_lines
         self.thread_ops = thread_ops
         self.gpu_words = gpu_words
+        #: ("write", region_line, lines) fills a dedicated region;
+        #: ("read", pool_line, lines) reads the contended pool, probing
+        #: whatever dirty owners the CPU/GPU traffic created
+        self.dma_ops = dma_ops or []
 
     def build(self, ctx):
         space = AddressSpace()
         pool = space.lines(self.num_lines)
         counter = space.lines(1)
+        dma_region = space.lines(self.DMA_REGION_LINES)
         code = code_region(space)
 
         # word ownership: word slots round-robin across agents (threads +
@@ -146,8 +156,41 @@ class RandomProgramWorkload(Workload):
             yield ops.WaitKernel(handle)
 
         final_value[counter] = counter_bumps + 1  # +1 for the GPU bump
+
+        # DMA agents: writes fill the dedicated region (the engine runs
+        # transfers strictly in order, so the last write of a line wins);
+        # reads target the contended pool, forcing DMA_RD probes of
+        # whatever dirty owner the CPU/GPU traffic left behind.
+        from repro.workloads.trace import DmaTransfer
+
+        dma_transfers = []
+        for seq, (kind, line_index, lines) in enumerate(self.dma_ops):
+            if kind == "write":
+                start = line_index % self.DMA_REGION_LINES
+                lines = min(lines, self.DMA_REGION_LINES - start)
+                value = 5_000_000 + seq
+                dma_transfers.append(DmaTransfer(
+                    kind="write",
+                    start_addr=dma_region + start * LINE_BYTES,
+                    lines=lines,
+                    value=value,
+                ))
+                for covered in range(start, start + lines):
+                    base = dma_region + covered * LINE_BYTES
+                    final_value[base] = value          # word 0
+                    final_value[base + 4 * 7] = value  # word 7
+            else:
+                start = line_index % self.num_lines
+                lines = min(lines, self.num_lines - start)
+                dma_transfers.append(DmaTransfer(
+                    kind="read",
+                    start_addr=pool + start * LINE_BYTES,
+                    lines=lines,
+                ))
+
         return WorkloadBuild(
             cpu_programs=[host] + programs[1:],
+            dma_transfers=dma_transfers,
             checks=[checker(final_value, "random-stress finals")],
         )
 
@@ -170,12 +213,20 @@ def stress_case(draw):
         ]
         thread_ops.append(script)
     gpu_words = draw(st.integers(min_value=0, max_value=6))
+    dma_ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["write", "read", "read"]),  # reads hit the
+            st.integers(min_value=0, max_value=3),       # contended pool
+            st.integers(min_value=1, max_value=2),
+        ),
+        max_size=4,
+    ))
     tiny_dir = draw(st.booleans())
     tcc_writeback = draw(st.booleans())
     tcp_writeback = draw(st.booleans())
     banks = draw(st.sampled_from([1, 1, 2]))  # bias towards the paper's 1
     tccs = draw(st.sampled_from([1, 1, 2]))
-    return policy, num_lines, thread_ops, gpu_words, tiny_dir, \
+    return policy, num_lines, thread_ops, gpu_words, dma_ops, tiny_dir, \
         tcc_writeback, tcp_writeback, banks, tccs
 
 
@@ -186,7 +237,7 @@ def stress_case(draw):
 )
 @given(stress_case())
 def test_random_programs_stay_coherent(case):
-    (policy_name, num_lines, thread_ops, gpu_words, tiny_dir,
+    (policy_name, num_lines, thread_ops, gpu_words, dma_ops, tiny_dir,
      tcc_writeback, tcp_writeback, banks, tccs) = case
     policy = PRESETS[policy_name]
     if tiny_dir and policy.is_precise:
@@ -199,17 +250,42 @@ def test_random_programs_stay_coherent(case):
         gpu_tcp_writeback=tcp_writeback,
         num_tccs=tccs,
     ))
-    workload = RandomProgramWorkload(4, num_lines, thread_ops, gpu_words)
+    workload = RandomProgramWorkload(4, num_lines, thread_ops, gpu_words,
+                                     dma_ops=dma_ops)
     result = system.run_workload(workload, verify=True)
     assert result.ok, (policy_name, result.check_errors[:5])
 
 
 @pytest.mark.parametrize("policy_name", POLICY_NAMES)
 def test_directed_false_sharing_all_policies(policy_name):
-    """A fixed dense false-sharing case on every policy (fast regression)."""
+    """A fixed dense false-sharing case on every policy (fast regression),
+    with DMA traffic overlapping the contended pool."""
     script = [("store", i, 0) for i in range(8)] + [("load_own", i, 0) for i in range(8)]
     thread_ops = [list(script) for _ in range(4)]
+    dma_ops = [("write", 0, 2), ("read", 0, 2), ("write", 1, 1), ("read", 1, 1)]
     system = build_system(SystemConfig.small(policy=PRESETS[policy_name]))
-    workload = RandomProgramWorkload(4, 2, thread_ops, gpu_words=4)
+    workload = RandomProgramWorkload(4, 2, thread_ops, gpu_words=4,
+                                     dma_ops=dma_ops)
+    result = system.run_workload(workload, verify=True)
+    assert result.ok, result.check_errors[:5]
+
+
+@pytest.mark.parametrize("policy_name", ["owner", "sharers"])
+def test_dma_read_of_clean_exclusive_owner(policy_name):
+    """Hypothesis-found regression: a DMA read probing a *clean* E owner
+    downgrades it to S, so the precise directory must demote its O entry
+    (Table I fn. f) instead of keeping the stale owner pointer — the next
+    transaction on the line used to trip the coherence invariant monitor
+    with ``dir=O owner l2.x holds S``."""
+    thread_ops = [
+        [("store", 0, 0)] * 23,
+        [("atomic", 0, 0)] + [("store", 0, 0)] * 15,
+        [],
+        [("load_own", 0, 0), ("atomic", 0, 0), ("store", 0, 0),
+         ("store", 0, 0)],
+    ]
+    system = build_system(SystemConfig.small(policy=PRESETS[policy_name]))
+    workload = RandomProgramWorkload(4, 1, thread_ops, gpu_words=0,
+                                     dma_ops=[("write", 0, 1), ("read", 0, 1)])
     result = system.run_workload(workload, verify=True)
     assert result.ok, result.check_errors[:5]

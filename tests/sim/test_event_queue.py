@@ -103,6 +103,59 @@ class TestEventQueue:
         assert queue.executed_events == 2  # the raising event still counts
 
 
+class TestTieBreakExploration:
+    """``set_tie_break`` permutes same-(time, priority) ordering — the
+    litmus suite's schedule-exploration hook."""
+
+    @staticmethod
+    def _order(rng) -> list[str]:
+        import random
+
+        queue = EventQueue()
+        if rng is not None:
+            queue.set_tie_break(random.Random(rng))
+        order: list[str] = []
+        for label in "abcdefgh":
+            queue.schedule(5, order.append, arg=label)
+        queue.run()
+        return order
+
+    def test_seeded_tie_break_is_deterministic(self):
+        assert self._order(7) == self._order(7)
+
+    def test_different_seeds_reach_different_orders(self):
+        orders = {tuple(self._order(seed)) for seed in range(8)}
+        assert len(orders) > 1
+
+    def test_tie_break_permutes_but_never_drops_events(self):
+        order = self._order(3)
+        assert sorted(order) == list("abcdefgh")
+
+    def test_time_and_priority_order_still_respected(self):
+        import random
+
+        queue = EventQueue()
+        queue.set_tie_break(random.Random(11))
+        order: list[str] = []
+        queue.schedule(20, order.append, arg="late")
+        queue.schedule(10, order.append, arg="early-low", priority=1)
+        queue.schedule(10, order.append, arg="early-high", priority=0)
+        queue.run()
+        assert order == ["early-high", "early-low", "late"]
+
+    def test_none_restores_fifo(self):
+        import random
+
+        queue = EventQueue()
+        queue.set_tie_break(random.Random(5))
+        queue.set_tie_break(None)
+        order: list[str] = []
+        for label in "abcd":
+            queue.schedule(5, order.append, arg=label)
+        queue.run()
+        assert order == list("abcd")
+
+
 class TestArgScheduling:
     """``schedule(when, callback, arg=x)`` runs ``callback(x)`` — the
     closure-free form used by hot paths like ``Network.send``."""

@@ -95,6 +95,61 @@ class TestNetwork:
         assert network.endpoints_of_kind("dir") == ["b"]
         assert network.endpoints_of_kind("none") == []
 
+    def test_kinds_lists_attached_kinds(self, fabric):
+        network, _a, _b = fabric
+        assert network.kinds() == ["dir", "l2"]
+
+
+class TestLatencyJitter:
+    """``jitter_latencies`` — the litmus schedule-exploration knob."""
+
+    def test_jitter_only_adds_bounded_latency(self, sim, fabric):
+        import random
+
+        network, _a, b = fabric
+        network.jitter_latencies(random.Random(1), max_extra_cycles=3)
+        network.send(FakeMsg("a", "b"))
+        sim.run()
+        arrival = b.received[0][0]
+        assert 10_000 <= arrival <= 13_000 + 1_000  # +service cycle
+
+    def test_jitter_is_deterministic_per_seed(self, clock):
+        import random
+
+        def arrival(seed: int) -> int:
+            sim = Simulator()
+            network = Network(sim, clock, default_latency_cycles=10)
+            a, b = Sink(sim, "a", clock), Sink(sim, "b", clock)
+            network.attach(a, kind="l2")
+            network.attach(b, kind="dir")
+            network.jitter_latencies(random.Random(seed), max_extra_cycles=5)
+            network.send(FakeMsg("a", "b"))
+            sim.run()
+            return b.received[0][0]
+
+        assert arrival(9) == arrival(9)
+        assert len({arrival(seed) for seed in range(10)}) > 1
+
+    def test_jitter_invalidates_primed_routes(self, sim, fabric):
+        import random
+
+        network, _a, b = fabric
+        network.send(FakeMsg("a", "b"))  # primes the route cache
+        sim.run()
+        before = len(network._routes)
+        network.jitter_latencies(random.Random(2), max_extra_cycles=4)
+        assert network._routes == {} and before > 0
+
+    def test_directions_jitter_independently(self, sim, fabric):
+        import random
+
+        network, _a, _b = fabric
+        network.jitter_latencies(random.Random(0), max_extra_cycles=1000)
+        forward = network.latency_cycles("a", "b")
+        backward = network.latency_cycles("b", "a")
+        # with a 1000-cycle range the two directions virtually never agree
+        assert forward != backward
+
 
 class TestRouteCacheInvalidation:
     """The precomputed per-(src, dst) route table must refresh whenever the

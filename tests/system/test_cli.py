@@ -66,6 +66,62 @@ class TestCli:
             main([])
 
 
+class TestLitmusCommand:
+    def test_list(self, capsys):
+        assert main(["litmus", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "mp" in out and "dirty_handoff" in out
+        assert "policy variants" in out
+        assert "sharers+banked" in out
+
+    def test_selected_tests_small_sweep(self, capsys):
+        code = main(["litmus", "mp", "coww", "--schedules", "2",
+                     "--policies", "baseline", "sharers"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 tests x 2 policies x 2 schedules = 8 runs" in out
+        assert "0 failure(s)" in out
+
+    def test_verbose_prints_each_run(self, capsys):
+        assert main(["litmus", "coww", "--schedules", "2",
+                     "--policies", "baseline", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "coww @ baseline @ s0:canonical: ok" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        code = main(["litmus", "mp", "--policies", "bogus"])
+        assert code == 2
+        assert "unknown policy" in capsys.readouterr().err
+
+    def test_unknown_test_rejected(self):
+        with pytest.raises(KeyError, match="unknown litmus"):
+            main(["litmus", "bogus"])
+
+    def test_replay_artifact(self, capsys, tmp_path):
+        from repro.verify.litmus import (
+            Schedule,
+            dump_artifact,
+            get_litmus,
+            minimize_failure,
+        )
+
+        # a postcondition failure needs no fault hook: demand the wrong value
+        test = get_litmus("coww")
+        broken = test.with_agents(
+            [[("store", "x", 1), ("load", "x", "r")]], [], []
+        )
+        broken.postcondition = test.postcondition  # expects x == 2
+        result = minimize_failure(broken, "baseline", Schedule(0))
+        assert result is not None
+        path = str(tmp_path / "repro.json")
+        dump_artifact(result, path)
+        code = main(["litmus", "--replay", path, "--trace", "10"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reproduced: yes" in out
+        assert "protocol trace" in out
+
+
 class TestBenchCommand:
     def test_bench_cold_then_warm(self, tmp_path, capsys):
         args = ["bench", "--figure", "6", "--scale", "0.25", "--jobs", "2",

@@ -7,7 +7,8 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import SystemConfig, build_system, get_workload
-from repro.coherence.policies import PRESETS, DirectoryKind
+from repro.coherence.policies import PRESETS, DirectoryKind, DirectoryPolicy
+from repro.system.config import CacheGeometry
 from repro.system.serialize import (
     config_from_dict,
     config_to_dict,
@@ -89,6 +90,97 @@ class TestProperties:
             early_dirty_response=early, llc_writeback=wb,
         )
         assert policy_from_dict(policy_to_dict(policy)) == policy
+
+
+def _geometry():
+    return st.builds(
+        CacheGeometry,
+        size_bytes=st.sampled_from([512, 1024, 4096, 65536]),
+        assoc=st.sampled_from([1, 2, 4, 8]),
+        latency_cycles=st.sampled_from([1.0, 2.5, 8.0, 20.0]),
+    )
+
+
+def _policy():
+    return st.builds(
+        DirectoryPolicy,
+        kind=st.sampled_from(list(DirectoryKind)),
+        early_dirty_response=st.booleans(),
+        clean_victims_to_memory=st.booleans(),
+        clean_victims_to_llc=st.booleans(),
+        llc_writeback=st.booleans(),
+        use_l3_on_wt=st.booleans(),
+        dir_entries=st.integers(min_value=1, max_value=100_000),
+        dir_assoc=st.integers(min_value=1, max_value=32),
+        state_aware_dir_replacement=st.booleans(),
+        dma_updates_dir_state=st.booleans(),
+        vicdirty_invalidates_sharers=st.booleans(),
+        readonly_regions=st.lists(
+            st.tuples(st.integers(0, 2**20), st.integers(1, 2**10)).map(
+                lambda pair: (pair[0], pair[0] + pair[1])
+            ),
+            max_size=2,
+        ).map(tuple),
+        dir_banks=st.integers(min_value=1, max_value=4),
+        dir_max_transactions=st.none() | st.integers(min_value=1, max_value=64),
+    ).flatmap(
+        # sharer_pointer_limit is only legal on SHARERS-kind directories
+        lambda policy: st.just(policy)
+        if not policy.tracks_sharers
+        else st.none().map(lambda _n: policy)
+        | st.integers(min_value=1, max_value=8).map(
+            lambda limit: policy.named(sharer_pointer_limit=limit)
+        )
+    )
+
+
+def _system_config():
+    return st.builds(
+        SystemConfig,
+        num_corepairs=st.integers(min_value=1, max_value=4),
+        num_cus=st.integers(min_value=1, max_value=8),
+        num_tccs=st.integers(min_value=1, max_value=2),
+        cpu_freq_ghz=st.sampled_from([1.0, 3.5]),
+        gpu_freq_ghz=st.sampled_from([1.1, 2.0]),
+        l1d=_geometry(),
+        l1i=_geometry(),
+        l2=_geometry(),
+        tcp=_geometry(),
+        sqc=_geometry(),
+        tcc=_geometry(),
+        llc=_geometry(),
+        dir_latency_cycles=st.sampled_from([2.0, 20.0]),
+        mem_latency_cycles=st.sampled_from([40.0, 160.0]),
+        net_latency_cycles=st.sampled_from([1.0, 10.0]),
+        policy=_policy(),
+        gpu_tcp_writeback=st.booleans(),
+        gpu_tcc_writeback=st.booleans(),
+        max_wavefronts_per_cu=st.integers(min_value=1, max_value=8),
+        dma_max_outstanding=st.integers(min_value=1, max_value=8),
+    )
+
+
+class TestConfigProperties:
+    """Hypothesis round-trip: any valid SystemConfig survives
+    dict + JSON serialization exactly (ISSUE PR-4 satellite)."""
+
+    @given(config=_system_config())
+    def test_random_configs_round_trip_through_dict(self, config):
+        assert config_from_dict(config_to_dict(config)) == config
+
+    @given(config=_system_config())
+    def test_random_configs_round_trip_through_json_text(self, config):
+        import json
+
+        data = json.loads(json.dumps(config_to_dict(config)))
+        restored = config_from_dict(data)
+        assert restored == config
+        # the policy dataclass (frozen) round-trips to an equal, hashable value
+        assert hash(restored.policy) == hash(config.policy)
+
+    @given(config=_system_config())
+    def test_round_tripped_config_revalidates(self, config):
+        config_from_dict(config_to_dict(config)).validate()
 
 
 class TestResultRoundTrip:

@@ -1,0 +1,161 @@
+"""Tests for the litmus DSL: validation, compilation, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.address import LINE_BYTES
+from repro.system.builder import build_system
+from repro.system.config import SystemConfig
+from repro.verify.litmus import (
+    CompiledLitmus,
+    DmaSpec,
+    LitmusEnv,
+    LitmusError,
+    LitmusTest,
+)
+from repro.workloads.base import WorkloadContext
+
+
+def _ctx(**overrides) -> WorkloadContext:
+    defaults = dict(num_cpu_cores=4, num_cus=2, seed=0, scale=1.0)
+    defaults.update(overrides)
+    return WorkloadContext(**defaults)
+
+
+def _simple_test(**overrides) -> LitmusTest:
+    fields = dict(
+        name="demo",
+        description="",
+        layout={"x": (0, 0), "flag": (1, 0)},
+        threads=[
+            [("store", "x", 1), ("store", "flag", 1)],
+            [("spin", "flag", 1), ("load", "x", "r1")],
+        ],
+    )
+    fields.update(overrides)
+    return LitmusTest(**fields)
+
+
+class TestValidation:
+    def test_valid_test_passes(self):
+        _simple_test().validate()
+
+    def test_no_agents_rejected(self):
+        with pytest.raises(LitmusError, match="no agents"):
+            _simple_test(threads=[], gpu_waves=[], dma=[]).validate()
+
+    def test_unknown_location_rejected(self):
+        with pytest.raises(LitmusError, match="unknown\\s+location"):
+            _simple_test(threads=[[("store", "nope", 1)]]).validate()
+
+    def test_gpu_only_op_rejected_on_cpu(self):
+        with pytest.raises(LitmusError, match="cannot run"):
+            _simple_test(threads=[[("rel",)]]).validate()
+
+    def test_vector_ops_allowed_on_gpu(self):
+        _simple_test(
+            threads=[],
+            gpu_waves=[[("vstore", ["x", "flag"], 3), ("rel",)]],
+        ).validate()
+
+    def test_bad_layout_word_rejected(self):
+        with pytest.raises(LitmusError, match="bad layout"):
+            _simple_test(layout={"x": (0, 99), "flag": (1, 0)}).validate()
+
+    def test_init_must_reference_layout(self):
+        with pytest.raises(LitmusError, match="init references"):
+            _simple_test(init={"ghost": 1}).validate()
+
+    def test_dma_must_reference_layout(self):
+        with pytest.raises(LitmusError, match="DMA references"):
+            _simple_test(dma=[DmaSpec("write", "ghost")]).validate()
+
+
+class TestCompilation:
+    def test_layout_keeps_relative_line_placement(self):
+        test = _simple_test(layout={"x": (0, 0), "y": (0, 3), "z": (2, 0)})
+        test.threads = [[("store", "x", 1), ("store", "y", 2),
+                         ("store", "z", 3)]]
+        workload = CompiledLitmus(test)
+        workload.build(_ctx())
+        assert workload.addr_of("y") - workload.addr_of("x") == 12
+        assert workload.addr_of("z") - workload.addr_of("x") == 2 * LINE_BYTES
+
+    def test_too_many_threads_rejected(self):
+        test = _simple_test(threads=[[("think", 1)]] * 5)
+        with pytest.raises(LitmusError, match="wants 5 CPU threads"):
+            CompiledLitmus(test).build(_ctx())
+
+    def test_init_lands_in_initial_memory(self):
+        test = _simple_test(init={"x": 7})
+        workload = CompiledLitmus(test)
+        build = workload.build(_ctx())
+        addr = workload.addr_of("x")
+        line = addr - (addr % LINE_BYTES)
+        assert build.initial_memory[line].word(0) == 7
+
+    def test_dma_spec_becomes_transfer(self):
+        test = _simple_test(dma=[DmaSpec("write", "x", lines=2, value=9)])
+        workload = CompiledLitmus(test)
+        build = workload.build(_ctx())
+        (transfer,) = build.dma_transfers
+        assert transfer.kind == "write"
+        assert transfer.lines == 2
+        assert transfer.value == 9
+        assert transfer.start_addr == workload.addr_of("x")
+
+    def test_run_records_registers(self):
+        system = build_system(SystemConfig.small())
+        workload = CompiledLitmus(_simple_test())
+        result = system.run_workload(workload, verify=True)
+        assert result.ok
+        assert workload.regs["t1:r1"] == 1
+        assert workload.regs["t1:spin@flag"] == 1
+
+    def test_total_ops_counts_dma(self):
+        test = _simple_test(dma=[DmaSpec("read", "x")])
+        assert test.total_ops() == 5
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_ops(self):
+        test = _simple_test(
+            gpu_waves=[[("atomic", "x", "add", 1, "old", "slc"), ("rel",)]],
+            dma=[DmaSpec("write", "flag", lines=1, value=3)],
+            init={"x": 5},
+        )
+        clone = LitmusTest.from_json(test.to_json())
+        assert clone.threads == test.threads
+        assert clone.gpu_waves == test.gpu_waves
+        assert clone.dma == test.dma
+        assert clone.init == test.init
+        assert clone.layout == test.layout
+
+    def test_with_agents_replaces_without_aliasing(self):
+        test = _simple_test()
+        clone = test.with_agents([[("store", "x", 9)]], [], [])
+        clone.threads[0].append(("think", 1))
+        assert test.threads[0][0] == ("store", "x", 1)
+        assert len(clone.threads[0]) == 2
+
+
+class TestLitmusEnv:
+    def test_unwritten_register_reads_none(self):
+        env = LitmusEnv({}, lambda loc: 0)
+        assert env.reg("t0:r1") is None
+
+    def test_expect_helpers_accumulate_errors(self):
+        env = LitmusEnv({"t0:r": 5}, lambda loc: 1)
+        env.expect_reg("t0:r", 5)
+        env.expect_mem("x", 1)
+        assert env.errors == []
+        env.expect_reg("t0:r", 6)
+        env.expect_mem("x", 2)
+        env.expect(False, "custom")
+        assert len(env.errors) == 3
+
+    def test_expect_reg_in_tolerates_unwritten(self):
+        env = LitmusEnv({}, lambda loc: 0)
+        env.expect_reg_in("t0:r", {1, 2})
+        assert env.errors == []

@@ -1,0 +1,71 @@
+"""Tests for the bundled litmus registry: shape and canonical-run health."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.litmus import (
+    REGISTRY,
+    all_litmus_tests,
+    get_litmus,
+    run_litmus,
+)
+from repro.verify.litmus.registry import L2_CONFLICT_STRIDE
+
+
+class TestRegistryShape:
+    def test_at_least_fifteen_tests(self):
+        assert len(REGISTRY) >= 15
+
+    def test_all_tests_validate(self):
+        for test in REGISTRY.values():
+            test.validate()
+
+    def test_covers_heterogeneous_agents(self):
+        has_gpu = [t for t in REGISTRY.values() if t.gpu_waves]
+        has_dma = [t for t in REGISTRY.values() if t.dma]
+        has_cross_pair = [
+            t for t in REGISTRY.values() if len(t.threads) >= 3
+        ]
+        assert len(has_gpu) >= 4
+        assert len(has_dma) >= 2
+        assert len(has_cross_pair) >= 4
+
+    def test_classic_shapes_present(self):
+        for name in ("mp", "sb", "corr", "coww", "iriw", "dirty_handoff",
+                     "vicdirty_race", "atomic_chain"):
+            assert name in REGISTRY, name
+
+    def test_every_test_has_postcondition(self):
+        for name, test in REGISTRY.items():
+            assert test.postcondition is not None, name
+
+    def test_eviction_races_use_conflict_stride(self):
+        test = get_litmus("vicdirty_race")
+        lines = sorted(line for line, _word in test.layout.values())
+        assert lines[1] - lines[0] == L2_CONFLICT_STRIDE
+
+    def test_get_litmus_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown litmus"):
+            get_litmus("nope")
+
+    def test_all_litmus_tests_returns_copy(self):
+        tests = all_litmus_tests()
+        tests.clear()
+        assert len(REGISTRY) >= 15
+
+
+class TestCanonicalRuns:
+    """Every bundled litmus passes under the canonical schedule on the
+    baseline policy — the cheap always-on slice of what `repro litmus --all`
+    sweeps in CI."""
+
+    @pytest.mark.parametrize("name", sorted(REGISTRY))
+    def test_passes_canonically(self, name):
+        outcome = run_litmus(get_litmus(name))
+        assert outcome.ok, outcome.describe()
+
+    def test_registers_observed(self):
+        outcome = run_litmus(get_litmus("mp"))
+        assert outcome.regs["t2:r1"] == 1
+        assert outcome.final_memory == {"x": 1, "flag": 1}

@@ -1,0 +1,72 @@
+"""Tests for schedule exploration: determinism, perturbation, canonicality."""
+
+from __future__ import annotations
+
+from repro.verify.litmus import (
+    Schedule,
+    default_schedules,
+    get_litmus,
+    run_litmus,
+    run_schedules,
+)
+
+
+class TestScheduleObjects:
+    def test_canonical_detection(self):
+        assert Schedule(0).is_canonical
+        assert not Schedule(1, jitter_cycles=3).is_canonical
+        assert not Schedule(1, tie_break=True).is_canonical
+
+    def test_default_set_size_and_uniqueness(self):
+        schedules = default_schedules(8)
+        assert len(schedules) == 8
+        assert len(set(schedules)) == 8
+        assert schedules[0].is_canonical
+
+    def test_default_set_mixes_all_knob_combinations(self):
+        schedules = default_schedules(8)
+        assert any(s.jitter_cycles and not s.tie_break for s in schedules)
+        assert any(s.tie_break and not s.jitter_cycles for s in schedules)
+        assert any(s.jitter_cycles and s.tie_break for s in schedules)
+
+    def test_json_round_trip(self):
+        schedule = Schedule(5, jitter_cycles=3, tie_break=True)
+        assert Schedule.from_json(schedule.to_json()) == schedule
+
+    def test_labels_are_distinct(self):
+        labels = [s.label() for s in default_schedules(8)]
+        assert len(set(labels)) == 8
+
+
+class TestScheduleExecution:
+    def test_same_schedule_is_deterministic(self):
+        test = get_litmus("dirty_handoff")
+        schedule = Schedule(3, jitter_cycles=4, tie_break=True)
+        first = run_litmus(test, schedule=schedule)
+        second = run_litmus(test, schedule=schedule)
+        assert first.ok and second.ok
+        assert first.ticks == second.ticks
+        assert first.regs == second.regs
+
+    def test_canonical_schedule_matches_plain_run(self):
+        """Schedule(0) must be a no-op: bit-identical to an unperturbed
+        run, so litmus results compose with the golden-stats world."""
+        test = get_litmus("mp")
+        plain = run_litmus(test)  # run_litmus defaults to Schedule(0)
+        explicit = run_litmus(test, schedule=Schedule(0))
+        assert plain.ticks == explicit.ticks
+
+    def test_perturbed_schedules_reach_different_interleavings(self):
+        test = get_litmus("dirty_handoff")
+        ticks = {
+            run_litmus(test, schedule=s).ticks for s in default_schedules(8)
+        }
+        # at least some of the 8 schedules change end-to-end timing
+        assert len(ticks) > 1
+
+    def test_run_schedules_sweeps_all(self):
+        outcomes = run_schedules(get_litmus("coww"), "baseline",
+                                 default_schedules(4))
+        assert len(outcomes) == 4
+        assert all(outcome.ok for outcome in outcomes)
+        assert outcomes[0].schedule.is_canonical
