@@ -1,0 +1,115 @@
+"""Contention ablation — §III/§IV policy gains on a contended fabric.
+
+The paper's evaluation (and every other figure in this repo) models the
+fabric as pure latency and memory as one flat channel.  This ablation
+re-runs the policy comparison on ``SystemConfig.contended()`` — finite
+link bandwidth with WRR arbitration at the directory plus a banked
+open-row memory controller — and asks two questions:
+
+1. Is contention visible at all?  Links and shared ports must report
+   real waiting, and runtimes must shift.  Note the shift is *not*
+   uniformly a slowdown: the contended preset trades per-access latency
+   for bank-level parallelism (four banks admitting in parallel, row hits
+   cheaper than the flat channel's fixed latency), so memory-bound
+   workloads can finish *earlier* while probe-heavy ones pay for every
+   broadcast crossing the arbitrated directory port.
+2. Do the §III traffic optimizations and the §IV precise directory still
+   help when bursts actually collide?  Probe broadcasts and write-through
+   traffic now occupy real link and bank slots, so policies that remove
+   messages should keep a meaningful advantage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from conftest import save_and_print
+
+from repro.analysis.report import format_table
+from repro.system.config import SystemConfig
+
+#: the heaviest cross-device-coherence benchmarks (see EXPERIMENTS.md)
+WORKLOADS = ["cedd", "sc", "tq"]
+
+#: baseline plus one §III optimization and the §IV precise directory
+POLICIES = ["baseline", "llcWB", "sharers"]
+
+
+def _gains(matrix) -> dict[tuple[str, str], float]:
+    """speedup %% of each non-baseline policy over baseline, per workload."""
+    results = matrix.run_batch(
+        [(w, p) for w in WORKLOADS for p in POLICIES]
+    )
+    return {
+        (w, p): results[(w, p)].speedup_over(results[(w, "baseline")])
+        for w in WORKLOADS
+        for p in POLICIES
+        if p != "baseline"
+    }
+
+
+def test_contention_ablation(matrix, results_dir):
+    contended_matrix = dataclasses.replace(
+        matrix, config_factory=SystemConfig.contended, _cache={}
+    )
+    flat = matrix.run_batch([(w, p) for w in WORKLOADS for p in POLICIES])
+    contended = contended_matrix.run_batch(
+        [(w, p) for w in WORKLOADS for p in POLICIES]
+    )
+    flat_gain = _gains(matrix)
+    contended_gain = _gains(contended_matrix)
+
+    rows = []
+    for workload in WORKLOADS:
+        base_flat = flat[(workload, "baseline")]
+        base_cont = contended[(workload, "baseline")]
+        slowdown = 100.0 * (base_cont.cycles / base_flat.cycles - 1.0)
+        rows.append([
+            workload,
+            f"{base_flat.cycles:.0f}",
+            f"{base_cont.cycles:.0f}",
+            f"{slowdown:+.1f}%",
+            f"{flat_gain[(workload, 'llcWB')]:+.2f}",
+            f"{contended_gain[(workload, 'llcWB')]:+.2f}",
+            f"{flat_gain[(workload, 'sharers')]:+.2f}",
+            f"{contended_gain[(workload, 'sharers')]:+.2f}",
+        ])
+    text = format_table(
+        ["workload", "flat cy", "contended cy", "slowdown",
+         "llcWB % (flat)", "llcWB % (cont)",
+         "sharers % (flat)", "sharers % (cont)"],
+        rows,
+        title="policy gains: zero-contention fabric vs contended fabric",
+    )
+    save_and_print(results_dir, "ablation_contention", text)
+
+    # 1. the fabric model bites: every contended run reports real waiting
+    # at the links/ports/banks, and every runtime moves off the flat number
+    for workload in WORKLOADS:
+        stats = contended[(workload, "baseline")].stats
+        waiting = (
+            stats.get("memory.bank_wait_ticks", 0)
+            + stats.get("network.arb.dir.wait_ticks", 0)
+            + sum(v for k, v in stats.items()
+                  if k.startswith("network.ports.") and k.endswith(".wait_ticks"))
+        )
+        assert waiting > 0, workload
+        assert (
+            contended[(workload, "baseline")].cycles
+            != flat[(workload, "baseline")].cycles
+        ), workload
+    # probe-heavy cedd pays for broadcasts crossing the arbitrated
+    # directory port: it is strictly slower under contention
+    assert contended[("cedd", "baseline")].cycles > flat[("cedd", "baseline")].cycles
+
+    # 2. message-removing policies survive contention: the precise
+    # directory keeps a clearly positive gain on every workload
+    for workload in WORKLOADS:
+        assert contended_gain[(workload, "sharers")] > 5.0, (
+            workload, contended_gain[(workload, "sharers")]
+        )
+
+    # 3. the contended runs actually exercised the contended structures
+    sample = contended[(WORKLOADS[0], "baseline")].stats
+    assert sample.get("memory.row_hits", 0) + sample.get("memory.row_misses", 0) > 0
+    assert any(key.startswith("network.arb.") for key in sample)

@@ -1,7 +1,8 @@
 """Kernel microbenchmark suite (perf trajectory).
 
-Times the simulation kernel three ways — raw event-queue dispatch, the
-fabric message path, and one real figure-pipeline cell — and emits
+Times the simulation kernel four ways — raw event-queue dispatch, the
+fabric message path (flat and contended), and one real figure-pipeline
+cell — and emits
 ``BENCH_kernel.json`` at the repo root (override with ``$REPRO_BENCH_OUT``).
 The committed ``BENCH_kernel.json`` is the perf-trajectory baseline; the CI
 perf-smoke job re-runs this suite and fails on a >30% calibrated
@@ -53,6 +54,15 @@ def test_network_path_throughput_is_sane(report):
     assert bench["messages_per_sec"] > 10_000
     # every message costs exactly two events: delivery + serialized handling
     assert bench["events"] == pytest.approx(2 * bench["messages"], rel=0.01)
+
+
+def test_contended_network_path_throughput_is_sane(report):
+    bench = report["benchmarks"]["network_contended"]
+    assert bench["messages"] > 0
+    assert bench["messages_per_sec"] > 5_000
+    # port serialization + WRR arbitration add events per message
+    # (arrival, grant-completion, delivery, handling) on the dir-bound leg
+    assert bench["events"] > 2 * bench["messages"]
 
 
 def test_figure_slice_runs_and_reports_events(report):

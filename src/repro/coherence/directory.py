@@ -285,7 +285,10 @@ class DirectoryController(Controller):
             self._maybe_finish_permission(txn)
             return self._fig2_next(txn)
         txn.mem_outstanding = True
-        self._mem_read(txn.addr, lambda mem_data: self._on_mem_data(txn, mem_data))
+        self._mem_read(
+            txn.addr, lambda mem_data: self._on_mem_data(txn, mem_data),
+            source=txn.request.requester,
+        )
         return self._fig2_next(txn)
 
     def _on_mem_data(self, txn: Transaction, data: LineData) -> None:
@@ -301,13 +304,18 @@ class DirectoryController(Controller):
         self._maybe_complete(txn)
         return self._fig2_next(txn)
 
-    def _mem_read(self, addr: int, callback: Callable[[LineData], None]) -> None:
+    def _mem_read(
+        self, addr: int, callback: Callable[[LineData], None],
+        source: str | None = None,
+    ) -> None:
         self.stats.inc("mem_reads")
-        self.memory.read(addr, callback)
+        self.memory.read(addr, callback, source=source or self.name)
 
-    def _mem_write(self, addr: int, data: LineData) -> None:
+    def _mem_write(
+        self, addr: int, data: LineData, source: str | None = None
+    ) -> None:
         self.stats.inc("mem_writes")
-        self.memory.write(addr, data)
+        self.memory.write(addr, data, source=source or self.name)
 
     # -- probe acks / unblocks ------------------------------------------------------
 
@@ -427,7 +435,7 @@ class DirectoryController(Controller):
             raise ProtocolError(f"DMA write without data: {req!r}")
         self._mark_superseded_victims(txn)
         self.llc.invalidate(txn.addr)  # dropped copy is superseded by req.data
-        self._mem_write(txn.addr, req.data)
+        self._mem_write(txn.addr, req.data, source=req.requester)
         self.network.send(
             Message(MsgType.DMA_RESP, self.name, req.requester, txn.addr, tid=txn.tid)
         )
@@ -438,7 +446,10 @@ class DirectoryController(Controller):
         req = txn.request
         self._mark_superseded_victims(txn)
         if req.data is not None:
-            self._system_write(txn.addr, _apply_words(req.data, txn.partial_updates))
+            self._system_write(
+                txn.addr, _apply_words(req.data, txn.partial_updates),
+                source=req.requester,
+            )
         elif req.word_updates:
             if txn.dirty_data is not None:
                 # A CPU cache held the line dirty (false sharing): merge the
@@ -448,11 +459,13 @@ class DirectoryController(Controller):
                 # the committing WT winning overlaps.
                 merged = _apply_words(txn.dirty_data, txn.partial_updates)
                 merged = _apply_words(merged, req.word_updates)
-                self._system_write(txn.addr, merged)
+                self._system_write(txn.addr, merged, source=req.requester)
             else:
                 combined = dict(txn.partial_updates)
                 combined.update(req.word_updates)
-                self._system_write_masked(txn.addr, combined)
+                self._system_write_masked(
+                    txn.addr, combined, source=req.requester
+                )
         else:
             raise ProtocolError(f"WT without data: {req!r}")
         self.network.send(
@@ -472,7 +485,7 @@ class DirectoryController(Controller):
         new_data, old_value = apply_atomic(
             base, req.word, req.atomic_op, req.operand, req.compare
         )
-        self._system_write(txn.addr, new_data)
+        self._system_write(txn.addr, new_data, source=req.requester)
         self.network.send(
             Message(
                 MsgType.ATOMIC_RESP, self.name, req.requester, txn.addr,
@@ -490,7 +503,9 @@ class DirectoryController(Controller):
                 txn.victim_ack_sources
             )
 
-    def _system_write(self, addr: int, data: LineData) -> None:
+    def _system_write(
+        self, addr: int, data: LineData, source: str | None = None
+    ) -> None:
         """A write at system-level visibility (WT/atomic commit point).
 
         With ``useL3OnWT`` the LLC is written (and, unless the LLC is
@@ -504,14 +519,16 @@ class DirectoryController(Controller):
             if displaced is not None:
                 self._mem_write(displaced.addr, displaced.data)
             if not self.policy.llc_writeback:
-                self._mem_write(addr, data)
+                self._mem_write(addr, data, source=source)
         else:
             # Bypass mode: memory is the destination; an existing LLC copy
             # is updated in place so it never goes stale (see DESIGN.md).
             self.llc.update_in_place(addr, data, dirty=False)
-            self._mem_write(addr, data)
+            self._mem_write(addr, data, source=source)
 
-    def _system_write_masked(self, addr: int, updates: dict[int, int]) -> None:
+    def _system_write_masked(
+        self, addr: int, updates: dict[int, int], source: str | None = None
+    ) -> None:
         """A partial-line system-visible write.
 
         The LLC copy (if any) is always kept coherent by applying the words
@@ -524,7 +541,7 @@ class DirectoryController(Controller):
         if hit and absorb:
             return
         self.stats.inc("mem_writes")
-        self.memory.write_words(addr, updates)
+        self.memory.write_words(addr, updates, source=source or self.name)
 
     # -- victims ---------------------------------------------------------------------
 
@@ -573,7 +590,7 @@ class DirectoryController(Controller):
             displaced = self.llc.write_victim(req.addr, req.data, dirty=dirty)
             if displaced is not None:
                 self._mem_write(displaced.addr, displaced.data)
-            self._mem_write(req.addr, req.data)
+            self._mem_write(req.addr, req.data, source=req.requester)
         return self._finish_victim(*ctx)
 
     def _act_victim_commit_no_clean_mem(self, ctx: tuple) -> str:
@@ -586,7 +603,7 @@ class DirectoryController(Controller):
             if displaced is not None:
                 self._mem_write(displaced.addr, displaced.data)
             if dirty:
-                self._mem_write(req.addr, req.data)
+                self._mem_write(req.addr, req.data, source=req.requester)
         return self._finish_victim(*ctx)
 
     def _act_victim_commit_drop_clean(self, ctx: tuple) -> str:
@@ -598,7 +615,7 @@ class DirectoryController(Controller):
                 displaced = self.llc.write_victim(req.addr, req.data, dirty=True)
                 if displaced is not None:
                     self._mem_write(displaced.addr, displaced.data)
-                self._mem_write(req.addr, req.data)
+                self._mem_write(req.addr, req.data, source=req.requester)
         return self._finish_victim(*ctx)
 
     def _act_victim_commit_llc_only(self, ctx: tuple) -> str:
@@ -632,7 +649,7 @@ class DirectoryController(Controller):
         if policy.llc_writeback:
             return  # no victim writes memory directly (§III-C)
         if dirty or policy.clean_victims_to_memory:
-            self._mem_write(req.addr, req.data)
+            self._mem_write(req.addr, req.data, source=req.requester)
 
     # -- flush --------------------------------------------------------------------------
 

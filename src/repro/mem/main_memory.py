@@ -3,22 +3,63 @@
 The paper's directory talks to memory through a single *ordered* interface;
 writes are non-blocking but occupy the channel, so extra write traffic (the
 write-through LLC of the baseline) delays later reads.  We model exactly
-that: a FIFO channel that admits one access every ``gap_cycles`` and returns
-read data after ``latency_cycles``.
+that by default: a FIFO channel that admits one access every ``gap_cycles``
+and returns read data after ``latency_cycles``.
 
 Reads and writes are counted; those counters are the y-axis of Figure 5.
+
+Contention model (``num_banks > 1`` or ``row_bytes > 0``): the controller
+splits into address-interleaved banks (line address modulo ``num_banks``,
+the same interleave as :class:`repro.coherence.banking.DirectoryMap`).  Each
+bank has its own FIFO queues — one per CPU/GPU/DMA traffic class, granted in
+weighted round-robin order by a :class:`~repro.sim.arbiter.WrrArbiter` — and
+admits one access per ``gap_cycles``.  Banks track their open row: an access
+that hits the open row pays ``row_hit_latency_cycles``, a row change pays
+``row_miss_latency_cycles``.  Functional commit order is *issue order*
+(writes apply to the backing store when accepted, reads capture data at
+completion), so arbitration can reorder timing but never values — the same
+write-before-read guarantee the single-channel model gives.  The default
+configuration (1 bank, no row model) takes the original code path untouched
+and is bit-identical to the committed golden stats.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
+from repro.mem.address import LINE_BYTES
 from repro.mem.block import ZERO_LINE, LineData
+from repro.sim.arbiter import WrrArbiter
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Component
+from repro.sim.event_queue import SimulationError
 
 if TYPE_CHECKING:
     from repro.sim.event_queue import Simulator
+
+
+class _Bank:
+    """One DRAM bank: a WRR-arbitrated queue plus open-row state."""
+
+    __slots__ = ("index", "arb", "open_row", "key")
+
+    def __init__(self, index: int, weights: dict[str, int] | None) -> None:
+        self.index = index
+        self.arb = WrrArbiter(f"bank{index}", dict(weights) if weights else None)
+        self.open_row: int | None = None
+        self.key = f"b{index}.accesses"
+
+
+class _Access:
+    """One queued bank access (read, write, or masked write)."""
+
+    __slots__ = ("kind", "addr", "callback", "enqueued_at")
+
+    def __init__(self, kind: str, addr: int, callback, enqueued_at: int) -> None:
+        self.kind = kind          # "r" | "w"
+        self.addr = addr
+        self.callback = callback  # read: data consumer; write: completion or None
+        self.enqueued_at = enqueued_at
 
 
 class MainMemory(Component):
@@ -31,13 +72,51 @@ class MainMemory(Component):
         latency_cycles: float = 160.0,
         gap_cycles: float = 10.0,
         name: str = "memory",
+        num_banks: int = 1,
+        row_bytes: int = 0,
+        row_hit_latency_cycles: float | None = None,
+        row_miss_latency_cycles: float | None = None,
+        arb_weights: dict[str, int] | None = None,
     ) -> None:
         super().__init__(sim, name, clock)
+        if num_banks < 1:
+            raise SimulationError(f"memory needs >= 1 bank, got {num_banks}")
+        if row_bytes and (row_bytes < LINE_BYTES or row_bytes % LINE_BYTES):
+            raise SimulationError(
+                f"row_bytes must be 0 or a multiple of the {LINE_BYTES}-byte "
+                f"line size, got {row_bytes}"
+            )
         self.latency_cycles = latency_cycles
         self.gap_cycles = gap_cycles
+        self.num_banks = num_banks
+        self.row_bytes = row_bytes
+        self.row_hit_latency_cycles = (
+            latency_cycles if row_hit_latency_cycles is None
+            else row_hit_latency_cycles
+        )
+        self.row_miss_latency_cycles = (
+            latency_cycles if row_miss_latency_cycles is None
+            else row_miss_latency_cycles
+        )
         self._store: dict[int, LineData] = {}
         self._channel_free = 0
         self._outstanding = 0
+        #: banked mode is any deviation from the paper's single ordered
+        #: channel; the flat path below stays byte-for-byte the original.
+        self._banked = num_banks > 1 or row_bytes > 0
+        self._banks = (
+            [_Bank(i, arb_weights) for i in range(num_banks)]
+            if self._banked else []
+        )
+        #: ``source name -> traffic class`` classifier (set by the builder
+        #: from the network's endpoint kinds); None classifies everything
+        #: as "other".
+        self._classifier: Callable[[str], str] | None = None
+
+    def set_classifier(self, classifier: Callable[[str], str] | None) -> None:
+        """Install the requester-name -> traffic-class mapping used by the
+        banked WRR arbiters (no effect on the flat channel)."""
+        self._classifier = classifier
 
     # -- functional backing store ----------------------------------------
 
@@ -60,9 +139,21 @@ class MainMemory(Component):
             self.stats.inc("channel_wait_ticks", wait)
         return start
 
-    def read(self, addr: int, callback: Callable[[LineData], None]) -> None:
-        """Timed read; ``callback(data)`` fires after channel wait + latency."""
+    def read(
+        self,
+        addr: int,
+        callback: Callable[[LineData], None],
+        source: str | None = None,
+    ) -> None:
+        """Timed read; ``callback(data)`` fires after channel wait + latency.
+
+        ``source`` (a network endpoint name) selects the WRR traffic class
+        in banked mode and is ignored by the flat channel.
+        """
         self.stats.inc("reads")
+        if self._banked:
+            self._enqueue("r", addr, callback, source)
+            return
         start = self._claim_channel()
         finish = start + self.clock.cycles_to_ticks(self.latency_cycles)
         self._outstanding += 1
@@ -78,10 +169,15 @@ class MainMemory(Component):
         addr: int,
         data: LineData,
         callback: Callable[[], None] | None = None,
+        source: str | None = None,
     ) -> None:
         """Timed write; the store is updated when the access starts (ordered
         channel, so a later read cannot pass it)."""
         self.stats.inc("writes")
+        if self._banked:
+            self._store[addr] = data  # issue-order commit (see module doc)
+            self._enqueue("w", addr, callback, source)
+            return
         start = self._claim_channel()
         self._outstanding += 1
 
@@ -98,24 +194,107 @@ class MainMemory(Component):
         addr: int,
         updates: dict[int, int],
         callback: Callable[[], None] | None = None,
+        source: str | None = None,
     ) -> None:
         """Timed partial-line write (byte-enable style): only the given
         words are updated, read-modify applied atomically at commit time."""
         self.stats.inc("writes")
+        if self._banked:
+            self._apply_words(addr, updates)  # issue-order commit
+            self._enqueue("w", addr, callback, source)
+            return
         start = self._claim_channel()
         self._outstanding += 1
 
         def commit() -> None:
             self._outstanding -= 1
-            line = self._store.get(addr, ZERO_LINE)
-            words = list(line.words)
-            for index, value in updates.items():
-                words[index] = value
-            self._store[addr] = LineData(words)
+            self._apply_words(addr, updates)
             if callback is not None:
                 callback()
 
         self.sim.events.schedule(start, commit)
+
+    def _apply_words(self, addr: int, updates: dict[int, int]) -> None:
+        line = self._store.get(addr, ZERO_LINE)
+        words = list(line.words)
+        for index, value in updates.items():
+            words[index] = value
+        self._store[addr] = LineData(words)
+
+    # -- banked channel ----------------------------------------------------
+
+    def bank_of(self, addr: int) -> int:
+        """Address-interleaved bank index (line address mod banks)."""
+        return (addr // LINE_BYTES) % self.num_banks
+
+    def _enqueue(self, kind: str, addr: int, callback, source: str | None) -> None:
+        """Queue one access on its bank; start the bank if it is idle."""
+        self._outstanding += 1
+        bank = self._banks[self.bank_of(addr)]
+        cls = "other"
+        if source is not None and self._classifier is not None:
+            cls = self._classifier(source)
+        bank.arb.enqueue(cls, _Access(kind, addr, callback, self.now))
+        if not bank.arb.busy:
+            self._bank_grant(bank)
+
+    def _bank_grant(self, bank: _Bank) -> None:
+        """Admit the next access in WRR order; the bank stays busy for
+        ``gap_cycles`` before the following grant."""
+        picked = bank.arb.pick()
+        if picked is None:
+            bank.arb.busy = False
+            return
+        bank.arb.busy = True
+        cls, access = picked
+        events = self.sim.events
+        now = events.now
+        wait = now - access.enqueued_at
+        if wait:
+            self.stats.inc("bank_wait_ticks", wait)
+        stats = self.stats
+        banks_stats = stats.child("banks")
+        banks_stats.inc(bank.key)
+        stats.child("classes").inc(cls)
+        # open-row timing
+        if self.row_bytes:
+            row = access.addr // self.row_bytes
+            if bank.open_row == row:
+                stats.inc("row_hits")
+                latency = self.row_hit_latency_cycles
+            else:
+                stats.inc("row_misses")
+                bank.open_row = row
+                latency = self.row_miss_latency_cycles
+        else:
+            latency = self.latency_cycles
+        if access.kind == "r":
+            events.schedule(
+                now + self.clock.cycles_to_ticks(latency),
+                self._bank_complete_read, 0, access,
+            )
+        else:
+            # write data already committed at issue; completion is the
+            # grant itself (non-blocking writes, as on the flat channel).
+            # Scheduled (not called inline) so callbacks never re-enter the
+            # caller of read()/write() synchronously.
+            events.schedule(now, self._bank_complete_write, 0, access)
+        events.schedule(
+            now + self.clock.cycles_to_ticks(self.gap_cycles),
+            self._bank_next, 0, bank,
+        )
+
+    def _bank_complete_read(self, access: _Access) -> None:
+        self._outstanding -= 1
+        access.callback(self._store.get(access.addr, ZERO_LINE))
+
+    def _bank_complete_write(self, access: _Access) -> None:
+        self._outstanding -= 1
+        if access.callback is not None:
+            access.callback()
+
+    def _bank_next(self, bank: _Bank) -> None:
+        self._bank_grant(bank)
 
     # -- bookkeeping -------------------------------------------------------
 

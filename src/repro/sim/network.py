@@ -16,12 +16,25 @@ precomputed per ``(src, dst)`` endpoint pair the first time the pair is used
 (and invalidated on :meth:`attach` / :meth:`set_latency`).  Delivery is
 scheduled as ``(deliver, msg)`` through the event queue's arg-passing form —
 no per-message closure, no float math, no repeated latency lookup.
+
+Contention model (``link_bytes_per_cycle > 0``): each endpoint owns a
+finite-bandwidth *output port* — a message occupies its sender's port for
+``ceil(size_bytes / link_bytes_per_cycle)`` cycles before it starts its
+latency flight, so bursts queue up behind each other (FIFO per port) instead
+of overlapping for free.  Shared destinations (the directory banks by
+default) additionally arbitrate their *input port* with a weighted
+round-robin :class:`~repro.sim.arbiter.WrrArbiter` over CPU/GPU/DMA traffic
+classes, classified by the sending endpoint's kind.  With the default
+``link_bytes_per_cycle = 0`` the fabric is pure latency and every contended
+structure is dormant — that configuration is bit-identical to the committed
+golden stats.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from repro.sim.arbiter import WrrArbiter, class_of_kind
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Component, Controller
 from repro.sim.event_queue import SimulationError
@@ -33,16 +46,45 @@ if TYPE_CHECKING:
 #: the per-message accounting never builds an f-string.
 _CATEGORY_KEYS: dict[str, str] = {}
 
+#: endpoint kinds whose input port is WRR-arbitrated under contention.
+#: The directory is the system's fought-over shared port (every request,
+#: victim, ack and unblock lands there); point-to-point responses back to
+#: private caches stay FIFO.
+DEFAULT_ARBITRATED_KINDS = ("dir",)
+
 
 class _Route:
     """Precomputed per-``(src, dst)`` transport state (see module docstring)."""
 
-    __slots__ = ("delay_ticks", "deliver", "route_key")
+    __slots__ = ("delay_ticks", "deliver", "route_key", "in_port", "arb_class")
 
-    def __init__(self, delay_ticks: int, deliver: Any, route_key: str) -> None:
+    def __init__(
+        self,
+        delay_ticks: int,
+        deliver: Any,
+        route_key: str,
+        in_port: "_InPort | None" = None,
+        arb_class: str = "other",
+    ) -> None:
         self.delay_ticks = delay_ticks
         self.deliver = deliver
         self.route_key = route_key
+        #: WRR-arbitrated destination input port (None = direct delivery)
+        self.in_port = in_port
+        #: sender's traffic class at that port (from the sender's kind)
+        self.arb_class = arb_class
+
+
+class _InPort:
+    """A shared endpoint's WRR-arbitrated, finite-bandwidth input port."""
+
+    __slots__ = ("name", "arb", "deliver", "max_depth")
+
+    def __init__(self, name: str, arb: WrrArbiter, deliver: Any) -> None:
+        self.name = name
+        self.arb = arb
+        self.deliver = deliver
+        self.max_depth = 0
 
 
 class Network(Component):
@@ -54,17 +96,37 @@ class Network(Component):
         clock: ClockDomain,
         default_latency_cycles: float = 10.0,
         name: str = "network",
+        link_bytes_per_cycle: int = 0,
+        arb_weights: dict[str, int] | None = None,
+        arbitrated_kinds: tuple[str, ...] = DEFAULT_ARBITRATED_KINDS,
     ) -> None:
         super().__init__(sim, name, clock)
         self.default_latency_cycles = default_latency_cycles
         self._endpoints: dict[str, Controller] = {}
         self._kinds: dict[str, str] = {}
         self._latency_table: dict[tuple[str, str], float] = {}
+        #: schedule-exploration overlay: per-(src_kind, dst_kind) extra
+        #: cycles, kept separate from the base table so repeated jitter
+        #: calls re-derive from the same base instead of compounding.
+        self._jitter: dict[tuple[str, str], int] = {}
         #: lazily built ``(src_name, dst_name) -> _Route`` transport cache.
         self._routes: dict[tuple[str, str], _Route] = {}
         #: the fabric's own counters / routes-child counters, bound once.
         self._counters = self.stats._counters
         self._route_counters: dict[str, int | float] | None = None
+        # -- contention model (dormant while link_bytes_per_cycle == 0) ----
+        self.arbitrated_kinds = tuple(arbitrated_kinds)
+        self.arb_weights = dict(arb_weights) if arb_weights else {}
+        self.link_bytes_per_cycle = 0
+        self._ser_memo: dict[int, int] = {}
+        #: per-sender output-port free tick (time-based FIFO queue)
+        self._port_free: dict[str, int] = {}
+        #: per-shared-destination WRR input ports, keyed by endpoint name
+        self._in_ports: dict[str, _InPort] = {}
+        self._port_stats = None
+        self._arb_stats = None
+        if link_bytes_per_cycle:
+            self.set_link_bandwidth(link_bytes_per_cycle)
 
     # -- wiring -----------------------------------------------------------
 
@@ -80,6 +142,22 @@ class Network(Component):
         """Set the one-way latency between two endpoint kinds (both directions)."""
         self._latency_table[(src_kind, dst_kind)] = cycles
         self._latency_table[(dst_kind, src_kind)] = cycles
+        self._routes.clear()
+
+    def set_link_bandwidth(self, bytes_per_cycle: int) -> None:
+        """Enable (or, with 0, disable) the finite-bandwidth link model.
+
+        Must be called before traffic flows (ports and arbiters are created
+        empty); the litmus :class:`~repro.verify.litmus.schedule.Schedule`
+        uses this to explore contended interleavings on a freshly built
+        system.
+        """
+        if bytes_per_cycle < 0:
+            raise SimulationError(
+                f"link bandwidth must be >= 0 bytes/cycle, got {bytes_per_cycle}"
+            )
+        self.link_bytes_per_cycle = bytes_per_cycle
+        self._ser_memo = {}
         self._routes.clear()
 
     def endpoints_of_kind(self, kind: str) -> list[str]:
@@ -103,22 +181,48 @@ class Network(Component):
         this to reorder in-flight protocol messages across runs without ever
         creating an illegal schedule — latency is still deterministic per
         route within one run.
+
+        The perturbation lives in a separate overlay on top of the base
+        latency table, so repeated calls re-derive from the same base (two
+        calls with the same seed give the same latencies) and the base table
+        itself is never densified — ``default_latency_cycles`` and later
+        :meth:`set_latency` calls keep their normal meaning.
         """
+        jitter: dict[tuple[str, str], int] = {}
         for src in self.kinds():
             for dst in self.kinds():
-                base = self._latency_table.get(
-                    (src, dst), self.default_latency_cycles
-                )
-                self._latency_table[(src, dst)] = base + rng.randrange(
-                    max_extra_cycles + 1
-                )
+                jitter[(src, dst)] = rng.randrange(max_extra_cycles + 1)
+        self._jitter = jitter
         self._routes.clear()
 
     # -- transport --------------------------------------------------------
 
     def latency_cycles(self, src: str, dst: str) -> float:
-        key = (self._kinds.get(src, "?"), self._kinds.get(dst, "?"))
-        return self._latency_table.get(key, self.default_latency_cycles)
+        """One-way latency between two *attached* endpoints (in cycles).
+
+        Unknown endpoint names raise :class:`SimulationError`, exactly like
+        :meth:`send` — a silent default here would mask wiring mistakes.
+        """
+        src_kind = self._kinds.get(src)
+        if src_kind is None:
+            raise SimulationError(f"unknown network source {src!r}")
+        dst_kind = self._kinds.get(dst)
+        if dst_kind is None:
+            raise SimulationError(f"unknown network endpoint {dst!r}")
+        key = (src_kind, dst_kind)
+        base = self._latency_table.get(key, self.default_latency_cycles)
+        extra = self._jitter.get(key)
+        return base if extra is None else base + extra
+
+    def _ser_ticks(self, size_bytes: int) -> int:
+        """Link-serialization delay for one message, in integer ticks."""
+        ticks = self._ser_memo.get(size_bytes)
+        if ticks is None:
+            bpc = self.link_bytes_per_cycle
+            cycles = -(-size_bytes // bpc)  # ceil; 0-byte messages are free
+            ticks = self.clock.cycles_to_ticks(cycles)
+            self._ser_memo[size_bytes] = ticks
+        return ticks
 
     def _build_route(self, src: str, dst: str) -> _Route:
         """Resolve and cache the transport state for one endpoint pair."""
@@ -128,9 +232,52 @@ class Network(Component):
         if src not in self._endpoints:
             raise SimulationError(f"unknown network source {src!r}")
         delay = self.clock.cycles_to_ticks(self.latency_cycles(src, dst))
-        route = _Route(delay, endpoint.deliver, f"{self._kinds[src]}->{self._kinds[dst]}")
+        src_kind = self._kinds[src]
+        dst_kind = self._kinds[dst]
+        in_port = None
+        if self.link_bytes_per_cycle and dst_kind in self.arbitrated_kinds:
+            in_port = self._in_ports.get(dst)
+            if in_port is None:
+                in_port = _InPort(
+                    dst, WrrArbiter(dst, dict(self.arb_weights)), endpoint.deliver
+                )
+                self._in_ports[dst] = in_port
+        route = _Route(
+            delay, endpoint.deliver, f"{src_kind}->{dst_kind}",
+            in_port=in_port, arb_class=class_of_kind(src_kind),
+        )
         self._routes[(src, dst)] = route
         return route
+
+    def _count_message(self, category: str, size_bytes: int, route_key: str) -> None:
+        """The one accounting path for fabric traffic (send and _account).
+
+        Counters stay lazily created (first increment) so ``as_dict()``
+        output is identical to the pre-optimization fabric.
+        """
+        counters = self._counters
+        key = _CATEGORY_KEYS.get(category)
+        if key is None:
+            key = _CATEGORY_KEYS.setdefault(category, f"messages.{category}")
+        if "messages" in counters:
+            counters["messages"] += 1
+        else:
+            self.stats.inc("messages")
+        if key in counters:
+            counters[key] += 1
+        else:
+            self.stats.inc(key)
+        if "bytes" in counters:
+            counters["bytes"] += size_bytes
+        else:
+            self.stats.inc("bytes", size_bytes)
+        route_counters = self._route_counters
+        if route_counters is None:
+            route_counters = self._route_counters = self.stats.child("routes")._counters
+        if route_key in route_counters:
+            route_counters[route_key] += 1
+        else:
+            self.stats.child("routes").inc(route_key)
 
     def send(self, msg: Any) -> None:
         """Deliver ``msg`` from ``msg.src`` to ``msg.dst`` after the route latency."""
@@ -142,40 +289,98 @@ class Network(Component):
                 route = self._build_route(src, dst)
             except SimulationError as exc:
                 raise SimulationError(f"{exc} for {msg!r}") from None
-        counters = self._counters
-        category = msg.category
-        key = _CATEGORY_KEYS.get(category)
-        if key is None:
-            key = _CATEGORY_KEYS.setdefault(category, f"messages.{category}")
-        # counters stay lazily created (first increment) so as_dict() output
-        # is identical to the pre-optimization fabric.
-        if "messages" in counters:
-            counters["messages"] += 1
-        else:
-            self.stats.inc("messages")
-        if key in counters:
-            counters[key] += 1
-        else:
-            self.stats.inc(key)
-        if "bytes" in counters:
-            counters["bytes"] += msg.size_bytes
-        else:
-            self.stats.inc("bytes", msg.size_bytes)
-        route_counters = self._route_counters
-        if route_counters is None:
-            route_counters = self._route_counters = self.stats.child("routes")._counters
-        route_key = route.route_key
-        if route_key in route_counters:
-            route_counters[route_key] += 1
-        else:
-            self.stats.child("routes").inc(route_key)
+        self._count_message(msg.category, msg.size_bytes, route.route_key)
         events = self.sim.events
-        events.schedule(events.now + route.delay_ticks, route.deliver, 0, msg)
+        if not self.link_bytes_per_cycle:
+            events.schedule(events.now + route.delay_ticks, route.deliver, 0, msg)
+            return
+        self._send_contended(msg, route)
 
     def _account(self, msg: Any) -> None:
-        """Count one message without sending it (kept for tests/tools)."""
-        self.stats.inc("messages")
-        self.stats.inc(f"messages.{msg.category}")
-        self.stats.inc("bytes", msg.size_bytes)
-        route = f"{self._kinds[msg.src]}->{self._kinds[msg.dst]}"
-        self.stats.child("routes").inc(route)
+        """Count one message without sending it (kept for tests/tools).
+
+        Shares :meth:`_count_message` with :meth:`send` so the two can never
+        drift, and rejects unattached endpoints with the same
+        :class:`SimulationError` that :meth:`send` raises.
+        """
+        src_kind = self._kinds.get(msg.src)
+        if src_kind is None:
+            raise SimulationError(f"unknown network source {msg.src!r} for {msg!r}")
+        dst_kind = self._kinds.get(msg.dst)
+        if dst_kind is None:
+            raise SimulationError(f"unknown network endpoint {msg.dst!r} for {msg!r}")
+        self._count_message(msg.category, msg.size_bytes, f"{src_kind}->{dst_kind}")
+
+    # -- contended transport ----------------------------------------------
+
+    def _send_contended(self, msg: Any, route: _Route) -> None:
+        """Finite-bandwidth path: serialize on the sender's output port,
+        fly the route latency, then either deliver or join the destination's
+        WRR input arbitration."""
+        events = self.sim.events
+        now = events.now
+        ser = self._ser_ticks(msg.size_bytes)
+        src = msg.src
+        free = self._port_free.get(src, 0)
+        start = now if free <= now else free
+        self._port_free[src] = start + ser
+        stats = self._port_stats
+        if stats is None:
+            stats = self._port_stats = self.stats.child("ports")
+        stats.inc(f"{src}.busy_ticks", ser)
+        wait = start - now
+        if wait:
+            stats.inc(f"{src}.wait_ticks", wait)
+            stats.inc(f"{src}.queued_msgs")
+        arrival = start + ser + route.delay_ticks
+        port = route.in_port
+        if port is None:
+            events.schedule(arrival, route.deliver, 0, msg)
+        else:
+            events.schedule(arrival, self._arb_arrive, 0,
+                            (port, route.arb_class, msg))
+
+    def _arb_arrive(self, queued: tuple) -> None:
+        """A message reaches a shared port: enqueue in its class, and start
+        the grant engine if the port is idle."""
+        port, arb_class, msg = queued
+        arb = port.arb
+        arb.enqueue(arb_class, (self.sim.events.now, msg))
+        depth = arb.pending()
+        if depth > port.max_depth:
+            port.max_depth = depth
+            stats = self._arb_stats
+            if stats is None:
+                stats = self._arb_stats = self.stats.child("arb")
+            stats.set(f"{port.name}.max_depth", depth)
+        if not arb.busy:
+            self._arb_grant(port)
+
+    def _arb_grant(self, port: _InPort) -> None:
+        """Grant the next message in WRR order and occupy the input port
+        for its serialization time."""
+        arb = port.arb
+        picked = arb.pick()
+        if picked is None:
+            arb.busy = False
+            return
+        arb.busy = True
+        arb_class, (enqueued_at, msg) = picked
+        events = self.sim.events
+        now = events.now
+        stats = self._arb_stats
+        if stats is None:
+            stats = self._arb_stats = self.stats.child("arb")
+        stats.inc(f"{port.name}.grants.{arb_class}")
+        wait = now - enqueued_at
+        if wait:
+            stats.inc(f"{port.name}.wait_ticks", wait)
+        events.schedule(now + self._ser_ticks(msg.size_bytes),
+                        self._arb_complete, 0, (port, msg))
+
+    def _arb_complete(self, queued: tuple) -> None:
+        """The granted message has fully crossed the input port: deliver it
+        and grant the next one."""
+        port, msg = queued
+        port.deliver(msg)
+        self._arb_grant(port)

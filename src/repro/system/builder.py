@@ -16,6 +16,7 @@ from repro.gpu.tcc import TccController
 from repro.gpu.tcc_group import TccGroup
 from repro.mem.address import LINE_BYTES
 from repro.mem.main_memory import MainMemory
+from repro.sim.arbiter import class_of_kind
 from repro.sim.clock import ClockDomain
 from repro.sim.event_queue import Simulator
 from repro.sim.network import Network
@@ -36,11 +37,21 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
     gpu_clock = ClockDomain("gpu", config.gpu_freq_ghz * 1e9)
     uncore_clock = ClockDomain("uncore", config.uncore_freq_ghz * 1e9)
 
-    network = Network(sim, uncore_clock, default_latency_cycles=config.net_latency_cycles)
+    network = Network(
+        sim, uncore_clock,
+        default_latency_cycles=config.net_latency_cycles,
+        link_bytes_per_cycle=config.link_bytes_per_cycle,
+        arb_weights=config.arb_weights,
+    )
     memory = MainMemory(
         sim, uncore_clock,
         latency_cycles=config.mem_latency_cycles,
         gap_cycles=config.mem_gap_cycles,
+        num_banks=config.mem_banks,
+        row_bytes=config.mem_row_bytes,
+        row_hit_latency_cycles=config.mem_row_hit_latency_cycles,
+        row_miss_latency_cycles=config.mem_row_miss_latency_cycles,
+        arb_weights=config.arb_weights,
     )
     # Directory banks (§VII distributed directories; 1 = the paper's
     # monolithic directory).  Each bank owns an LLC slice; all banks share
@@ -138,6 +149,13 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
         max_outstanding=config.dma_max_outstanding,
     )
     network.attach(dma, kind="dma")
+
+    # The banked memory controller classifies each access into a WRR
+    # traffic class by the original requester's network endpoint kind
+    # (l2 -> cpu, tcc -> gpu, dma -> dma, directory-internal -> cpu).
+    memory.set_classifier(
+        lambda source: class_of_kind(network._kinds.get(source, ""))
+    )
 
     return ApuSystem(
         sim=sim,

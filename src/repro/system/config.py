@@ -77,6 +77,21 @@ class SystemConfig:
     mem_gap_cycles: float = 10.0
     net_latency_cycles: float = 10.0
 
+    # Contention model (defaults = the paper's zero-contention fabric: pure
+    # latency links, one flat memory channel — bit-identical to the golden
+    # stats).  ``link_bytes_per_cycle > 0`` turns on finite-bandwidth link
+    # serialization plus WRR input arbitration at the directory;
+    # ``mem_banks > 1`` / ``mem_row_bytes > 0`` turn on the banked,
+    # open-row memory controller.
+    link_bytes_per_cycle: int = 0
+    arb_weight_cpu: int = 4
+    arb_weight_gpu: int = 2
+    arb_weight_dma: int = 1
+    mem_banks: int = 1
+    mem_row_bytes: int = 0
+    mem_row_hit_latency_cycles: float = 100.0
+    mem_row_miss_latency_cycles: float = 200.0
+
     # Protocol
     policy: DirectoryPolicy = field(default_factory=DirectoryPolicy)
     gpu_tcp_writeback: bool = False   # gem5's WB_L1
@@ -96,6 +111,23 @@ class SystemConfig:
     def num_cpu_cores(self) -> int:
         return 2 * self.num_corepairs
 
+    @property
+    def arb_weights(self) -> dict[str, int]:
+        """WRR grant weights per traffic class (shared ports and banks)."""
+        return {
+            "cpu": self.arb_weight_cpu,
+            "gpu": self.arb_weight_gpu,
+            "dma": self.arb_weight_dma,
+        }
+
+    @property
+    def is_contended(self) -> bool:
+        """True when any contention knob deviates from the pure-latency,
+        flat-channel zero-contention model."""
+        return bool(
+            self.link_bytes_per_cycle or self.mem_banks > 1 or self.mem_row_bytes
+        )
+
     def with_policy(self, policy: DirectoryPolicy) -> "SystemConfig":
         return replace(self, policy=policy)
 
@@ -106,6 +138,15 @@ class SystemConfig:
             raise ValueError("need at least one CU")
         if self.num_tccs < 1:
             raise ValueError("need at least one TCC")
+        if self.link_bytes_per_cycle < 0:
+            raise ValueError("link_bytes_per_cycle must be >= 0 (0 = infinite)")
+        for cls, weight in self.arb_weights.items():
+            if weight < 1:
+                raise ValueError(f"arb_weight_{cls} must be >= 1, got {weight}")
+        if self.mem_banks < 1:
+            raise ValueError("need at least one memory bank")
+        if self.mem_row_bytes < 0:
+            raise ValueError("mem_row_bytes must be >= 0 (0 = no row model)")
         self.policy.validate()
 
     # -- presets ----------------------------------------------------------------
@@ -139,6 +180,27 @@ class SystemConfig:
         )
         defaults.update(overrides)
         return cls(**defaults)
+
+    #: the contended-fabric knob set layered by :meth:`contended` — one
+    #: place so tests, benchmarks, and the golden-stat pin agree exactly.
+    CONTENDED_KNOBS = dict(
+        link_bytes_per_cycle=8,     # ~1 cycle per control msg, 9 per data line
+        mem_banks=4,
+        mem_row_bytes=1024,         # 16 lines per row
+        mem_row_hit_latency_cycles=100.0,
+        mem_row_miss_latency_cycles=200.0,
+    )
+
+    @classmethod
+    def contended(cls, policy: DirectoryPolicy | None = None, **overrides) -> "SystemConfig":
+        """The :meth:`benchmark` system on a *contended* fabric: finite
+        link bandwidth with WRR arbitration at the directory, and a banked
+        open-row memory controller.  This is the configuration behind the
+        contention ablation (how the paper's §III/§IV gains shift when
+        bursts actually collide) and the contended golden-stats pin."""
+        defaults = dict(cls.CONTENDED_KNOBS)
+        defaults.update(overrides)
+        return cls.benchmark(policy=policy, **defaults)
 
     @classmethod
     def small(cls, policy: DirectoryPolicy | None = None, **overrides) -> "SystemConfig":

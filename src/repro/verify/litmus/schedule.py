@@ -2,7 +2,7 @@
 
 One litmus outcome under one arbitrary schedule proves little; the classic
 Ruby-random-tester lineage replays each test under *many* interleavings.  A
-:class:`Schedule` names one deterministic interleaving via two knobs:
+:class:`Schedule` names one deterministic interleaving via three knobs:
 
 - **latency jitter** — every ``(src_kind, dst_kind)`` fabric latency gains
   a seeded 0..``jitter_cycles`` cycles (per direction), skewing request,
@@ -10,13 +10,18 @@ Ruby-random-tester lineage replays each test under *many* interleavings.  A
   (:meth:`Network.jitter_latencies`);
 - **tie-break permutation** — same-tick, same-priority events run in a
   seeded-random order instead of FIFO
-  (:meth:`EventQueue.set_tie_break`).
+  (:meth:`EventQueue.set_tie_break`);
+- **link bandwidth** — finite-bandwidth link serialization plus WRR input
+  arbitration at the directory (:meth:`Network.set_link_bandwidth`), so
+  bursts queue instead of overlapping — a whole family of interleavings
+  (back-pressure reordering) latency jitter alone cannot reach.
 
-Both perturbations stay inside the simulator's legal behaviours (latency is
-a free parameter; tie order among simultaneous events is unspecified), so
-any violation they expose is a real protocol bug, not a harness artifact.
-``Schedule(0)`` — no jitter, FIFO ties — is the canonical schedule every
-other test in the repo runs under.
+All perturbations stay inside the simulator's legal behaviours (latency and
+bandwidth are free parameters; tie order among simultaneous events is
+unspecified), so any violation they expose is a real protocol bug, not a
+harness artifact.  ``Schedule(0)`` — no jitter, FIFO ties, infinite
+bandwidth — is the canonical schedule every other test in the repo runs
+under.
 """
 
 from __future__ import annotations
@@ -30,19 +35,27 @@ class Schedule:
     """One deterministic interleaving: a seed plus perturbation knobs."""
 
     seed: int = 0
-    jitter_cycles: int = 0   #: max extra fabric latency per kind pair
-    tie_break: bool = False  #: permute same-tick event order
+    jitter_cycles: int = 0       #: max extra fabric latency per kind pair
+    tie_break: bool = False      #: permute same-tick event order
+    link_bytes_per_cycle: int = 0  #: finite link bandwidth (0 = infinite)
 
     @property
     def is_canonical(self) -> bool:
-        return not self.jitter_cycles and not self.tie_break
+        return (
+            not self.jitter_cycles
+            and not self.tie_break
+            and not self.link_bytes_per_cycle
+        )
 
     def apply(self, system) -> None:
         """Install this schedule's perturbations on a freshly built system.
 
-        Must run before any workload starts (routes are precomputed and the
-        tie-break only affects newly scheduled events).
+        Must run before any workload starts (routes are precomputed, ports
+        must start empty, and the tie-break only affects newly scheduled
+        events).
         """
+        if self.link_bytes_per_cycle:
+            system.network.set_link_bandwidth(self.link_bytes_per_cycle)
         if self.jitter_cycles:
             system.network.jitter_latencies(
                 random.Random(self.seed * 2 + 1), self.jitter_cycles
@@ -58,25 +71,36 @@ class Schedule:
             knobs.append(f"jitter{self.jitter_cycles}")
         if self.tie_break:
             knobs.append("tie")
+        if self.link_bytes_per_cycle:
+            knobs.append(f"bw{self.link_bytes_per_cycle}")
         return f"s{self.seed}:" + "+".join(knobs)
 
     def to_json(self) -> dict:
         return {"seed": self.seed, "jitter_cycles": self.jitter_cycles,
-                "tie_break": self.tie_break}
+                "tie_break": self.tie_break,
+                "link_bytes_per_cycle": self.link_bytes_per_cycle}
 
     @classmethod
     def from_json(cls, data: dict) -> "Schedule":
+        data = dict(data)
+        # schedules saved before the bandwidth knob existed load unchanged
+        data.setdefault("link_bytes_per_cycle", 0)
         return cls(**data)
 
 
 #: default per-kind-pair jitter range (cycles) for explored schedules
 DEFAULT_JITTER_CYCLES = 4
 
+#: link bandwidth used by contended exploration schedules (bytes/cycle,
+#: matching ``SystemConfig.CONTENDED_KNOBS``)
+DEFAULT_SCHEDULE_BANDWIDTH = 8
+
 
 def default_schedules(count: int = 8,
                       jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> list[Schedule]:
     """The standard exploration set: the canonical schedule plus a rotation
-    of jitter-only, tie-break-only, and combined perturbations.
+    of jitter-only, tie-break-only, combined, and contended-fabric
+    perturbations.
 
     Distinct seeds land on distinct schedules, so ``count`` is also the
     number of genuinely different interleavings attempted (>= 8 in CI).
@@ -85,12 +109,15 @@ def default_schedules(count: int = 8,
         raise ValueError("need at least one schedule")
     schedules = [Schedule(0)]
     for seed in range(1, count):
-        variant = seed % 3
+        variant = seed % 4
         schedules.append(
             Schedule(
                 seed,
-                jitter_cycles=0 if variant == 2 else jitter_cycles,
+                jitter_cycles=0 if variant in (2, 3) else jitter_cycles,
                 tie_break=variant != 1,
+                link_bytes_per_cycle=(
+                    DEFAULT_SCHEDULE_BANDWIDTH if variant == 3 else 0
+                ),
             )
         )
     return schedules

@@ -27,6 +27,9 @@ from repro.system.config import SystemConfig
 from repro.workloads.registry import get_workload
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_kernel_stats.json"
+CONTENDED_GOLDEN_PATH = (
+    pathlib.Path(__file__).parent / "golden_contended_stats.json"
+)
 GOLDEN_SCALE = 0.25
 GOLDEN_SEED = 0
 #: one cell per policy preset (every PRESETS entry is snapshotted),
@@ -41,10 +44,17 @@ CELLS = [
     ("hsti", "llcWB"),
     ("trns", "owner"),
 ]
+#: cells pinned on the contended fabric (``SystemConfig.contended``):
+#: finite-bandwidth links + WRR directory arbitration + banked memory
+CONTENDED_CELLS = [
+    ("cedd", "baseline"),
+    ("tq", "sharers"),
+]
 
 
-def _run_cell(workload: str, policy: str) -> dict:
-    system = build_system(SystemConfig.benchmark(policy=PRESETS[policy]))
+def _run_cell(workload: str, policy: str, contended: bool = False) -> dict:
+    factory = SystemConfig.contended if contended else SystemConfig.benchmark
+    system = build_system(factory(policy=PRESETS[policy]))
     result = system.run_workload(
         get_workload(workload), seed=GOLDEN_SEED, scale=GOLDEN_SCALE
     )
@@ -68,12 +78,12 @@ def golden() -> dict:
     return json.loads(GOLDEN_PATH.read_text())
 
 
-@pytest.mark.parametrize("workload,policy", CELLS,
-                         ids=[f"{w}-{p}" for w, p in CELLS])
-def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
-    expected = golden[f"{workload}/{policy}"]
-    actual = _run_cell(workload, policy)
+@pytest.fixture(scope="module")
+def contended_golden() -> dict:
+    return json.loads(CONTENDED_GOLDEN_PATH.read_text())
 
+
+def _assert_matches(expected: dict, actual: dict) -> None:
     expected_stats = expected["stats"]
     actual_stats = actual["stats"]
     missing = sorted(set(expected_stats) - set(actual_stats))
@@ -95,6 +105,30 @@ def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
         )
 
 
+@pytest.mark.parametrize("workload,policy", CELLS,
+                         ids=[f"{w}-{p}" for w, p in CELLS])
+def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
+    _assert_matches(golden[f"{workload}/{policy}"], _run_cell(workload, policy))
+
+
+@pytest.mark.parametrize("workload,policy", CONTENDED_CELLS,
+                         ids=[f"{w}-{p}-contended" for w, p in CONTENDED_CELLS])
+def test_contended_cell_is_bit_identical(contended_golden, workload, policy):
+    _assert_matches(
+        contended_golden[f"{workload}/{policy}"],
+        _run_cell(workload, policy, contended=True),
+    )
+
+
+def test_contended_snapshot_exposes_contention_counters(contended_golden):
+    """The pinned contended cells must actually exercise the contended
+    structures — otherwise the pin degenerates into the flat snapshot."""
+    stats = contended_golden["cedd/baseline"]["stats"]
+    assert stats["memory.row_hits"] + stats["memory.row_misses"] > 0
+    assert any(key.startswith("network.arb.dir.grants.") for key in stats)
+    assert any(key.startswith("network.ports.") for key in stats)
+
+
 def test_every_policy_preset_has_a_golden_cell():
     assert {policy for _w, policy in CELLS} == set(PRESETS)
 
@@ -103,6 +137,13 @@ def _regenerate() -> None:  # pragma: no cover - manual tool
     snapshot = {f"{w}/{p}": _run_cell(w, p) for w, p in CELLS}
     GOLDEN_PATH.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
     print(f"rewrote {GOLDEN_PATH}")
+    contended = {
+        f"{w}/{p}": _run_cell(w, p, contended=True) for w, p in CONTENDED_CELLS
+    }
+    CONTENDED_GOLDEN_PATH.write_text(
+        json.dumps(contended, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"rewrote {CONTENDED_GOLDEN_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover

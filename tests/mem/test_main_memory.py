@@ -2,12 +2,25 @@
 
 from __future__ import annotations
 
-from repro.mem.block import ZERO_LINE
+import pytest
+
+from repro.mem.block import ZERO_LINE, LineData
 from repro.mem.main_memory import MainMemory
+from repro.sim.event_queue import SimulationError
 
 
 def make_memory(sim, clock, latency=100, gap=10):
     return MainMemory(sim, clock, latency_cycles=latency, gap_cycles=gap)
+
+
+def make_banked(sim, clock, latency=100, gap=10, banks=2, row_bytes=0,
+                row_hit=None, row_miss=None, weights=None):
+    return MainMemory(
+        sim, clock, latency_cycles=latency, gap_cycles=gap,
+        num_banks=banks, row_bytes=row_bytes,
+        row_hit_latency_cycles=row_hit, row_miss_latency_cycles=row_miss,
+        arb_weights=weights,
+    )
 
 
 class TestFunctionalStore:
@@ -93,3 +106,215 @@ class TestTimedChannel:
         assert memory.pending_work() is not None
         sim.run()
         assert memory.pending_work() is None
+
+
+class TestChannelWaitAllPaths:
+    """``channel_wait_ticks`` must account every access path — read, write,
+    and write_words — on the shared ordered channel."""
+
+    def test_write_then_reads_wait(self, sim, clock):
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        memory.write(0x0, ZERO_LINE.with_word(0, 1))
+        memory.read(0x40, lambda _d: None)
+        memory.read(0x80, lambda _d: None)
+        sim.run()
+        # reads wait 10 and 20 cycles behind the write's channel slot
+        assert memory.stats["channel_wait_ticks"] == 30_000
+
+    def test_write_words_occupies_the_channel(self, sim, clock):
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        memory.write_words(0x0, {0: 1})
+        memory.write_words(0x0, {1: 2})
+        memory.read(0x0, lambda _d: None)
+        sim.run()
+        assert memory.stats["channel_wait_ticks"] == 30_000
+
+    def test_mixed_burst_accounts_each_wait(self, sim, clock):
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        memory.read(0x0, lambda _d: None)        # starts at 0
+        memory.write(0x40, ZERO_LINE)            # waits 10
+        memory.write_words(0x80, {0: 5})         # waits 20
+        memory.read(0xC0, lambda _d: None)       # waits 30
+        sim.run()
+        assert memory.stats["channel_wait_ticks"] == 60_000
+
+    def test_spaced_accesses_do_not_wait(self, sim, clock):
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        memory.write(0x0, ZERO_LINE)
+        sim.events.schedule(10_000, lambda: memory.write_words(0x0, {0: 1}))
+        sim.events.schedule(20_000, lambda: memory.read(0x0, lambda _d: None))
+        sim.run()
+        assert memory.stats["channel_wait_ticks"] == 0
+
+
+class TestWriteWordsCommitOrder:
+    """The ISSUE satellite: interleaved reads / writes / partial writes to
+    one line must observe program order under channel contention."""
+
+    def test_rmw_chain_applies_in_program_order(self, sim, clock):
+        memory = make_memory(sim, clock, latency=50, gap=10)
+        results = []
+        memory.write(0x40, LineData([10] * 16))
+        memory.write_words(0x40, {0: 11})
+        memory.write_words(0x40, {1: 12})
+        memory.read(0x40, results.append)
+        sim.run()
+        # every write issued before the read is visible, word by word
+        assert results[0].words[:3] == (11, 12, 10)
+        assert memory.peek(0x40) == results[0]
+
+    def test_read_captures_at_data_return(self, sim, clock):
+        """The channel is non-blocking: a write whose channel slot starts
+        before an earlier read's data returns is visible to that read —
+        the controller merges it, exactly like the seed model."""
+        memory = make_memory(sim, clock, latency=50, gap=10)
+        results = []
+        memory.read(0x40, results.append)       # data returns at cycle 50
+        memory.write_words(0x40, {0: 99})       # slot starts at cycle 10
+        sim.run()
+        assert results[0].words[0] == 99
+
+    def test_rmw_chain_program_order_in_banked_mode(self, sim, clock):
+        memory = make_banked(sim, clock, latency=50, gap=10, banks=4)
+        results = []
+        memory.write(0x40, LineData([10] * 16))
+        memory.write_words(0x40, {0: 11})
+        memory.write_words(0x40, {1: 12})
+        memory.read(0x40, results.append)
+        sim.run()
+        assert results[0].words[:2] == (11, 12)
+        assert results[0].words[2] == 10
+
+    def test_banked_order_holds_across_wrr_classes(self, sim, clock):
+        """Arbitration may reorder *timing* across classes, never *values*:
+        a read issued after writes from other classes sees all of them."""
+        memory = make_banked(
+            sim, clock, banks=2, weights={"cpu": 4, "gpu": 2, "dma": 1}
+        )
+        memory.set_classifier(lambda source: source)
+        results = []
+        memory.write(0x40, LineData([1] * 16), source="gpu")
+        memory.write_words(0x40, {3: 7}, source="dma")
+        memory.read(0x40, results.append, source="cpu")
+        sim.run()
+        assert results[0].words[3] == 7
+        assert results[0].words[0] == 1
+
+
+class TestBankedMemory:
+    def test_bank_interleave_follows_line_address(self, sim, clock):
+        memory = make_banked(sim, clock, banks=4)
+        assert [memory.bank_of(i * 64) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_different_banks_proceed_in_parallel(self, sim, clock):
+        memory = make_banked(sim, clock, latency=100, gap=10, banks=2)
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now))   # bank 0
+        memory.read(0x40, lambda _d: done.append(sim.now))  # bank 1
+        sim.run()
+        assert done == [100_000, 100_000]
+
+    def test_same_bank_serializes_on_gap(self, sim, clock):
+        memory = make_banked(sim, clock, latency=100, gap=10, banks=2)
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now))   # bank 0
+        memory.read(0x80, lambda _d: done.append(sim.now))  # bank 0 again
+        sim.run()
+        assert done == [100_000, 110_000]
+        assert memory.stats["bank_wait_ticks"] == 10_000
+
+    def test_per_bank_access_counters(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2)
+        memory.read(0x0, lambda _d: None)
+        memory.read(0x40, lambda _d: None)
+        memory.read(0x80, lambda _d: None)
+        sim.run()
+        banks = memory.stats.child("banks")
+        assert banks["b0.accesses"] == 2
+        assert banks["b1.accesses"] == 1
+
+    def test_row_hit_pays_less_than_row_miss(self, sim, clock):
+        memory = make_banked(
+            sim, clock, banks=1, gap=10, row_bytes=1024,
+            row_hit=50, row_miss=200,
+        )
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now))    # row 0: miss
+        memory.read(0x40, lambda _d: done.append(sim.now))   # row 0: hit
+        sim.run()
+        # miss: 0 + 200 cycles; hit: granted at gap 10, +50 cycles
+        assert sorted(done) == [60_000, 200_000]
+        assert memory.stats["row_misses"] == 1
+        assert memory.stats["row_hits"] == 1
+
+    def test_row_change_closes_the_open_row(self, sim, clock):
+        memory = make_banked(
+            sim, clock, banks=1, gap=10, row_bytes=1024,
+            row_hit=50, row_miss=200,
+        )
+        memory.read(0x0, lambda _d: None)      # row 0: miss
+        memory.read(1024, lambda _d: None)     # row 1: miss (closes row 0)
+        memory.read(0x40, lambda _d: None)     # row 0 again: miss
+        sim.run()
+        assert memory.stats["row_misses"] == 3
+        assert memory.stats["row_hits"] == 0
+
+    def test_banked_write_commits_at_issue(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2)
+        data = ZERO_LINE.with_word(0, 3)
+        memory.write(0x40, data)
+        # issue-order commit: visible functionally before any event runs
+        assert memory.peek(0x40) == data
+
+    def test_write_callback_not_reentrant(self, sim, clock):
+        """Write completion must come through the event queue, never
+        synchronously from inside ``write`` itself."""
+        memory = make_banked(sim, clock, banks=2)
+        fired = []
+        memory.write(0x40, ZERO_LINE, callback=lambda: fired.append(sim.now))
+        assert fired == []  # nothing ran inside write()
+        sim.run()
+        assert len(fired) == 1
+
+    def test_classifier_buckets_traffic(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2, weights={"cpu": 2, "gpu": 1})
+        memory.set_classifier(lambda source: "gpu" if source.startswith("tcc") else "cpu")
+        memory.read(0x0, lambda _d: None, source="tcc0")
+        memory.read(0x40, lambda _d: None, source="l2.0")
+        memory.write(0x80, ZERO_LINE, source="tcc1")
+        sim.run()
+        classes = memory.stats.child("classes")
+        assert classes["gpu"] == 2
+        assert classes["cpu"] == 1
+
+    def test_unsourced_access_defaults_to_other(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2, weights={"cpu": 2})
+        memory.set_classifier(lambda source: "cpu")
+        memory.read(0x0, lambda _d: None)
+        sim.run()
+        assert memory.stats.child("classes")["other"] == 1
+
+    def test_pending_work_in_banked_mode(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2)
+        memory.read(0, lambda _d: None)
+        assert memory.pending_work() is not None
+        sim.run()
+        assert memory.pending_work() is None
+
+    def test_invalid_bank_count_rejected(self, sim, clock):
+        with pytest.raises(SimulationError, match=">= 1 bank"):
+            MainMemory(sim, clock, num_banks=0)
+
+    def test_row_bytes_must_be_line_multiple(self, sim, clock):
+        with pytest.raises(SimulationError, match="row_bytes"):
+            MainMemory(sim, clock, row_bytes=100)
+
+    def test_flat_channel_ignores_source(self, sim, clock):
+        """The zero-contention path must not change when callers pass a
+        source — bit-identity with the golden stats depends on it."""
+        memory = make_memory(sim, clock, latency=10, gap=10)
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now), source="l2.0")
+        sim.run()
+        assert done == [10_000]
+        assert "classes" not in memory.stats.as_dict()

@@ -1,0 +1,128 @@
+"""Unit tests for the weighted-round-robin arbiter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.arbiter import DEFAULT_CLASS, WrrArbiter, class_of_kind
+
+
+def drain(arb: WrrArbiter) -> list:
+    order = []
+    while True:
+        picked = arb.pick()
+        if picked is None:
+            return order
+        order.append(picked[1])
+
+
+class TestWrrOrder:
+    def test_fifo_within_one_class(self):
+        arb = WrrArbiter("p", {"cpu": 2})
+        for item in "abc":
+            arb.enqueue("cpu", item)
+        assert drain(arb) == ["a", "b", "c"]
+
+    def test_weights_set_the_grant_ratio(self):
+        arb = WrrArbiter("p", {"cpu": 2, "gpu": 1})
+        for i in range(6):
+            arb.enqueue("cpu", f"c{i}")
+            arb.enqueue("gpu", f"g{i}")
+        order = drain(arb)
+        # 2 cpu grants per gpu grant while both queues are backlogged
+        assert order[:6] == ["c0", "c1", "g0", "c2", "c3", "g1"]
+
+    def test_empty_class_is_skipped_without_spending_credit(self):
+        arb = WrrArbiter("p", {"cpu": 4, "gpu": 1, "dma": 1})
+        arb.enqueue("dma", "d0")
+        arb.enqueue("dma", "d1")
+        assert drain(arb) == ["d0", "d1"]
+
+    def test_single_class_degenerates_to_fifo(self):
+        arb = WrrArbiter("p", {"cpu": 3, "gpu": 2})
+        items = [f"g{i}" for i in range(5)]
+        for item in items:
+            arb.enqueue("gpu", item)
+        assert drain(arb) == items
+
+    def test_round_robin_under_equal_weights(self):
+        arb = WrrArbiter("p", {"cpu": 1, "gpu": 1})
+        for i in range(3):
+            arb.enqueue("cpu", f"c{i}")
+            arb.enqueue("gpu", f"g{i}")
+        assert drain(arb) == ["c0", "g0", "c1", "g1", "c2", "g2"]
+
+    def test_deterministic_for_fixed_arrival_order(self):
+        def run() -> list:
+            arb = WrrArbiter("p", {"cpu": 2, "gpu": 1, "dma": 1})
+            for i in range(4):
+                arb.enqueue("gpu", ("g", i))
+                arb.enqueue("cpu", ("c", i))
+            arb.enqueue("dma", ("d", 0))
+            return drain(arb)
+
+        assert run() == run()
+
+    def test_interleaved_enqueue_and_pick(self):
+        arb = WrrArbiter("p", {"cpu": 1, "gpu": 1})
+        arb.enqueue("cpu", "c0")
+        assert arb.pick() == ("cpu", "c0")
+        arb.enqueue("gpu", "g0")
+        arb.enqueue("cpu", "c1")
+        first = arb.pick()
+        second = arb.pick()
+        assert {first, second} == {("gpu", "g0"), ("cpu", "c1")}
+        assert arb.pick() is None
+
+
+class TestClassManagement:
+    def test_unknown_class_auto_created_with_weight_one(self):
+        arb = WrrArbiter("p", {"cpu": 4})
+        arb.enqueue("mystery", "m0")
+        assert arb.weight_of("mystery") == 1
+        assert arb.pending_in("mystery") == 1
+        assert drain(arb) == ["m0"]
+
+    def test_classes_lists_registration_order(self):
+        arb = WrrArbiter("p", {"cpu": 2, "gpu": 1})
+        arb.enqueue("dma", "d0")
+        assert arb.classes() == ("cpu", "gpu", "dma")
+
+    def test_pending_counts(self):
+        arb = WrrArbiter("p", {"cpu": 1, "gpu": 1})
+        assert arb.pending() == 0 and len(arb) == 0
+        arb.enqueue("cpu", "a")
+        arb.enqueue("gpu", "b")
+        assert arb.pending() == 2
+        arb.pick()
+        assert arb.pending() == 1
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            WrrArbiter("p", {"cpu": 0})
+
+    def test_duplicate_class_rejected(self):
+        arb = WrrArbiter("p", {"cpu": 1})
+        with pytest.raises(ValueError, match="duplicate"):
+            arb._add_class("cpu", 2)
+
+    def test_empty_arbiter_picks_none(self):
+        assert WrrArbiter("p").pick() is None
+
+    def test_grant_and_enqueue_telemetry(self):
+        arb = WrrArbiter("p", {"cpu": 1})
+        arb.enqueue("cpu", "a")
+        arb.enqueue("cpu", "b")
+        arb.pick()
+        assert (arb.enqueued, arb.grants) == (2, 1)
+
+
+class TestClassOfKind:
+    def test_kind_mapping(self):
+        assert class_of_kind("l2") == "cpu"
+        assert class_of_kind("tcc") == "gpu"
+        assert class_of_kind("dma") == "dma"
+        assert class_of_kind("dir") == "cpu"
+
+    def test_unknown_kind_falls_back(self):
+        assert class_of_kind("???") == DEFAULT_CLASS

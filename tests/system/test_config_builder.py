@@ -67,6 +67,78 @@ class TestScaledPresets:
         with pytest.raises(ValueError):
             SystemConfig(num_cus=0).validate()
 
+    def test_contention_knob_validation(self):
+        with pytest.raises(ValueError, match="link_bytes_per_cycle"):
+            SystemConfig(link_bytes_per_cycle=-1).validate()
+        with pytest.raises(ValueError, match="arb_weight_gpu"):
+            SystemConfig(arb_weight_gpu=0).validate()
+        with pytest.raises(ValueError, match="memory bank"):
+            SystemConfig(mem_banks=0).validate()
+        with pytest.raises(ValueError, match="mem_row_bytes"):
+            SystemConfig(mem_row_bytes=-64).validate()
+
+
+class TestContendedPreset:
+    def test_defaults_are_zero_contention(self):
+        config = SystemConfig.benchmark()
+        assert not config.is_contended
+        assert config.link_bytes_per_cycle == 0
+        assert config.mem_banks == 1
+        assert config.mem_row_bytes == 0
+
+    def test_contended_layers_the_knob_set(self):
+        config = SystemConfig.contended()
+        assert config.is_contended
+        for knob, value in SystemConfig.CONTENDED_KNOBS.items():
+            assert getattr(config, knob) == value
+        # everything else still matches the benchmark preset
+        bench = SystemConfig.benchmark()
+        assert config.llc == bench.llc
+        assert config.policy == bench.policy
+
+    def test_contended_accepts_policy_and_overrides(self):
+        config = SystemConfig.contended(
+            policy=PRESETS["sharers"], link_bytes_per_cycle=16
+        )
+        assert config.policy.kind is DirectoryKind.SHARERS
+        assert config.link_bytes_per_cycle == 16
+        assert config.mem_banks == SystemConfig.CONTENDED_KNOBS["mem_banks"]
+
+    def test_arb_weights_property(self):
+        config = SystemConfig(arb_weight_cpu=5, arb_weight_gpu=3, arb_weight_dma=2)
+        assert config.arb_weights == {"cpu": 5, "gpu": 3, "dma": 2}
+
+    def test_contended_round_trips_through_serialization(self):
+        from repro.system.serialize import config_from_dict, config_to_dict
+
+        config = SystemConfig.contended(policy=PRESETS["owner"])
+        assert config_from_dict(config_to_dict(config)) == config
+
+
+class TestContendedBuilder:
+    def test_builder_wires_contention_knobs(self):
+        system = build_system(SystemConfig.small(**SystemConfig.CONTENDED_KNOBS))
+        assert system.network.link_bytes_per_cycle == 8
+        assert system.network.arb_weights == {"cpu": 4, "gpu": 2, "dma": 1}
+        assert system.memory.num_banks == 4
+        assert system.memory.row_bytes == 1024
+        assert system.memory._banked
+
+    def test_builder_keeps_flat_fabric_by_default(self):
+        system = build_system(SystemConfig.small())
+        assert system.network.link_bytes_per_cycle == 0
+        assert not system.memory._banked
+
+    def test_memory_classifier_follows_endpoint_kinds(self):
+        system = build_system(SystemConfig.small(**SystemConfig.CONTENDED_KNOBS))
+        classify = system.memory._classifier
+        assert classify is not None
+        assert classify("l2.0") == "cpu"
+        assert classify("tcc0") == "gpu"
+        assert classify("dma0") == "dma"
+        assert classify("dir") == "cpu"
+        assert classify("not-an-endpoint") == "other"
+
 
 class TestBuilder:
     def test_builds_every_component(self):

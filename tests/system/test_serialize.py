@@ -152,6 +152,14 @@ def _system_config():
         dir_latency_cycles=st.sampled_from([2.0, 20.0]),
         mem_latency_cycles=st.sampled_from([40.0, 160.0]),
         net_latency_cycles=st.sampled_from([1.0, 10.0]),
+        link_bytes_per_cycle=st.sampled_from([0, 4, 8, 64]),
+        arb_weight_cpu=st.integers(min_value=1, max_value=8),
+        arb_weight_gpu=st.integers(min_value=1, max_value=8),
+        arb_weight_dma=st.integers(min_value=1, max_value=8),
+        mem_banks=st.integers(min_value=1, max_value=8),
+        mem_row_bytes=st.sampled_from([0, 512, 1024, 4096]),
+        mem_row_hit_latency_cycles=st.sampled_from([50.0, 100.0]),
+        mem_row_miss_latency_cycles=st.sampled_from([200.0, 400.0]),
         policy=_policy(),
         gpu_tcp_writeback=st.booleans(),
         gpu_tcc_writeback=st.booleans(),

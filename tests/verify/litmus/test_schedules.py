@@ -28,10 +28,29 @@ class TestScheduleObjects:
         assert any(s.jitter_cycles and not s.tie_break for s in schedules)
         assert any(s.tie_break and not s.jitter_cycles for s in schedules)
         assert any(s.jitter_cycles and s.tie_break for s in schedules)
+        assert any(s.link_bytes_per_cycle for s in schedules)
+
+    def test_contended_schedules_are_not_canonical(self):
+        assert not Schedule(1, link_bytes_per_cycle=8).is_canonical
+        assert "bw8" in Schedule(1, link_bytes_per_cycle=8).label()
 
     def test_json_round_trip(self):
         schedule = Schedule(5, jitter_cycles=3, tie_break=True)
         assert Schedule.from_json(schedule.to_json()) == schedule
+        contended = Schedule(2, link_bytes_per_cycle=8)
+        assert Schedule.from_json(contended.to_json()) == contended
+
+    def test_from_json_accepts_pre_bandwidth_schedules(self):
+        # schedules saved before the bandwidth knob must load unchanged
+        old = {"seed": 3, "jitter_cycles": 4, "tie_break": True}
+        assert Schedule.from_json(old) == Schedule(3, 4, True)
+
+    def test_apply_enables_link_bandwidth(self):
+        from repro import SystemConfig, build_system
+
+        system = build_system(SystemConfig.small())
+        Schedule(1, link_bytes_per_cycle=8).apply(system)
+        assert system.network.link_bytes_per_cycle == 8
 
     def test_labels_are_distinct(self):
         labels = [s.label() for s in default_schedules(8)]
