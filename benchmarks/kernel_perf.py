@@ -1,9 +1,15 @@
 """Simulation-kernel microbenchmarks (the perf-trajectory suite).
 
-Three timed benchmarks plus a machine-speed calibration score:
+Timed benchmarks plus a machine-speed calibration score:
 
 - ``event_queue`` — raw :class:`~repro.sim.event_queue.EventQueue`
   throughput: self-rescheduling callbacks through the inner ``run()`` loop.
+- ``event_queue_calendar`` — the workload shape the calendar queue is built
+  for: many lanes colliding on the same quantized ticks (deep same-tick
+  buckets) plus standing far-future timers exercising the overflow heap.
+- ``alloc_pooling`` — steady-state banked-memory churn through the pooled
+  access/commit records and bound stat counters (the allocation-audit
+  test pins that this path allocates ~nothing per access).
 - ``network`` — two controllers ping-ponging messages across the star
   fabric, exercising ``Network.send``, route accounting, and delivery.
 - ``network_contended`` — the same ping-pong on a finite-bandwidth fabric
@@ -32,6 +38,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.coherence.policies import PRESETS  # noqa: E402
+from repro.mem.main_memory import MainMemory  # noqa: E402
 from repro.sim.clock import ClockDomain  # noqa: E402
 from repro.sim.component import Controller  # noqa: E402
 from repro.sim.event_queue import EventQueue, Simulator  # noqa: E402
@@ -43,7 +50,10 @@ from repro.workloads.registry import get_workload  # noqa: E402
 #: bump when a benchmark's definition changes (invalidates old baselines).
 #: v2: network_contended added; Network.send gained the shared accounting
 #: helper, re-seeding every baseline.
-SUITE_VERSION = 2
+#: v3: calendar event queue became the production kernel;
+#: event_queue_calendar (clustered ticks + far-future timers) and
+#: alloc_pooling (pooled banked-memory churn) added.
+SUITE_VERSION = 3
 
 
 # -- calibration -----------------------------------------------------------
@@ -84,6 +94,95 @@ def bench_event_queue(num_events: int = 200_000) -> dict:
         "events": executed,
         "seconds": elapsed,
         "events_per_sec": executed / elapsed,
+    }
+
+
+def bench_event_queue_calendar(num_events: int = 200_000) -> dict:
+    """Clustered same-tick scheduling plus standing far-future timers.
+
+    Route tables and clock periods quantize real-system delays onto a small
+    set of tick offsets, so protocol bursts pile many events onto the same
+    tick.  Here 64 lanes all reschedule with the same delay, keeping every
+    bucket 64 deep (one dict probe + list append per event), while 8 timers
+    parked beyond ``FAR_HORIZON`` keep the overflow heap exercised.
+    """
+    queue = EventQueue()
+    remaining = [num_events]
+    far_delay = EventQueue.FAR_HORIZON + 1
+
+    def tick() -> None:
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            queue.schedule_after(8, tick)
+
+    def far_timer() -> None:
+        if remaining[0] > 0:
+            queue.schedule_after(far_delay, far_timer)
+
+    for _ in range(64):
+        queue.schedule(8, tick)
+    for _ in range(8):
+        queue.schedule_after(far_delay, far_timer)
+    start = time.perf_counter()
+    queue.run()
+    elapsed = time.perf_counter() - start
+    executed = queue.executed_events
+    return {
+        "events": executed,
+        "seconds": elapsed,
+        "events_per_sec": executed / elapsed,
+    }
+
+
+# -- pooled banked-memory churn ---------------------------------------------
+
+
+def bench_alloc_pooling(num_accesses: int = 60_000) -> dict:
+    """Steady-state banked-memory read/write churn through the free lists.
+
+    Four independent streams (two traffic classes across four banks) chase
+    their own reads and writes back-to-back, so every access reuses a pooled
+    ``_Access`` record, a pooled commit record, and bound stat counters.
+    """
+    sim = Simulator()
+    clock = ClockDomain("bench", 1e9)
+    memory = MainMemory(
+        sim, clock, latency_cycles=20.0, gap_cycles=2.0,
+        num_banks=4, row_bytes=256,
+        arb_weights={"cpu": 4, "gpu": 2},
+    )
+    memory.set_classifier(lambda name: "cpu" if name.startswith("c") else "gpu")
+    remaining = [num_accesses]
+
+    def make_stream(source: str, base: int):
+        addr = [base]
+
+        def next_access(_data=None) -> None:
+            if remaining[0] <= 0:
+                return
+            remaining[0] -= 1
+            addr[0] = base + (addr[0] + 64) % 8192
+            if remaining[0] % 3:
+                memory.read(addr[0], next_access, source=source)
+            else:
+                memory.write(addr[0], None, source=source)
+                memory.read(addr[0], next_access, source=source)
+
+        return next_access
+
+    streams = [make_stream(src, base) for src, base in
+               [("c0", 0), ("c1", 1 << 20), ("g0", 2 << 20), ("g1", 3 << 20)]]
+    start = time.perf_counter()
+    for stream in streams:
+        stream()
+    sim.events.run()
+    elapsed = time.perf_counter() - start
+    events = sim.events.executed_events
+    return {
+        "accesses": num_accesses - remaining[0],
+        "events": events,
+        "seconds": elapsed,
+        "events_per_sec": events / elapsed,
     }
 
 
@@ -197,6 +296,7 @@ def run_suite(quick: bool = False, repeats: int = 3) -> dict:
     """
     eq_n = 40_000 if quick else 200_000
     net_n = 20_000 if quick else 100_000
+    mem_n = 12_000 if quick else 60_000
     # the slice runs full-scale even in quick mode: events/sec at 0.25
     # scale sits systematically ~30% below full scale (fixed warmup
     # amortized over fewer events), which made the quick-mode CI gate
@@ -215,6 +315,12 @@ def run_suite(quick: bool = False, repeats: int = 3) -> dict:
         "calibration_ops_per_sec": calibration_score(),
         "benchmarks": {
             "event_queue": best(bench_event_queue, eq_n, key="events_per_sec"),
+            "event_queue_calendar": best(
+                bench_event_queue_calendar, eq_n, key="events_per_sec",
+            ),
+            "alloc_pooling": best(
+                bench_alloc_pooling, mem_n, key="events_per_sec",
+            ),
             "network": best(bench_network, net_n, key="messages_per_sec"),
             "network_contended": best(
                 bench_network_contended, net_n, key="messages_per_sec",

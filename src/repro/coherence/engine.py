@@ -304,10 +304,11 @@ class ProtocolFSM:
         expose an ``fsm_hooks`` tuple (possibly empty).
         """
         state = self.state
-        transitions = self.table.lookup(state, event)
+        table = self.table
+        transitions = table._map.get((state, event))
         if not transitions:
             raise ProtocolError(
-                f"{self.table.name}: unhandled event {event!r} in state "
+                f"{table.name}: unhandled event {event!r} in state "
                 f"{state_label(state)} (addr={addr:#x})"
             )
         for transition in transitions:

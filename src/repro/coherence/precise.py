@@ -32,7 +32,7 @@ from repro.coherence.directory import (
     RequestPlan,
     build_directory_table,
 )
-from repro.coherence.directory_entry import DirEntry
+from repro.coherence.directory_entry import DirEntry, DirEntryStore
 from repro.coherence.engine import ProtocolFSM, TransitionTable
 from repro.coherence.llc import LastLevelCache
 from repro.coherence.policies import DirectoryPolicy
@@ -96,14 +96,18 @@ class PreciseDirectory(DirectoryController):
         num_sets = max(1, policy.dir_entries // policy.dir_assoc)
         ways = min(policy.dir_assoc, policy.dir_entries)
         self.dir_cache = CacheArray(num_sets, ways)
+        # struct-of-arrays entry planes, sized to the directory cache;
+        # slots recycle through the store's free list as entries retire.
+        self._entry_store = DirEntryStore(
+            capacity=num_sets * ways,
+            track_identities=policy.tracks_sharers,
+            pointer_limit=policy.sharer_pointer_limit,
+        )
 
     # -- entry helpers --------------------------------------------------------
 
     def _new_entry(self) -> DirEntry:
-        return DirEntry(
-            track_identities=self.policy.tracks_sharers,
-            pointer_limit=self.policy.sharer_pointer_limit,
-        )
+        return self._entry_store.alloc()
 
     def entry_line(self, addr: int, touch: bool = False) -> CacheLine | None:
         return self.dir_cache.lookup(addr, touch=touch)
@@ -224,7 +228,7 @@ class PreciseDirectory(DirectoryController):
                 self._mem_write(displaced.addr, displaced.data)
             if not self.policy.llc_writeback:
                 self._mem_write(victim.addr, evict_txn.dirty_data)
-        self.dir_cache.invalidate(victim.addr)
+        self._drop_entry(victim)
         return DirState.I
 
     # -- request planning (Table I) ------------------------------------------------
@@ -523,7 +527,10 @@ class PreciseDirectory(DirectoryController):
 
     def _drop_entry(self, line: CacheLine | None) -> None:
         if line is not None:
+            entry = line.meta
             self.dir_cache.invalidate(line.addr)
+            if entry is not None:
+                self._entry_store.release(entry)
 
     # -- introspection for verification ---------------------------------------------------
 

@@ -211,7 +211,7 @@ class CorePair(Controller):
         kind = request.kind
         self.stats.inc(_OPS_KEY.get(kind) or f"ops.{kind}")
         start = max(self.now, self._next_free)
-        self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
+        self._next_free = start + self._service_ticks
         self.sim.events.schedule(start, self._execute_queued, 0, (slot, request, callback))
 
     # -- execution ---------------------------------------------------------------

@@ -128,6 +128,7 @@ class TccController(Controller):
         self.dir_map = as_directory_map(dir_name)
         self.array = CacheArray.from_geometry(*geometry)
         self.latency_cycles = latency_cycles
+        self._latency_ticks = clock.cycles_to_ticks(latency_cycles)
         self.writeback = writeback
         self._mshrs: dict[int, _Mshr] = {}
         #: WT acks awaited, FIFO per address.
@@ -159,8 +160,8 @@ class TccController(Controller):
 
     def _claim(self) -> int:
         start = max(self.now, self._next_free)
-        self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
-        return start + self.clock.cycles_to_ticks(self.latency_cycles)
+        self._next_free = start + self._service_ticks
+        return start + self._latency_ticks
 
     def fetch(self, line: int, callback: Callable[[LineData], None]) -> None:
         """Read a full line (TCP miss or SQC miss path)."""

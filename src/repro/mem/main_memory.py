@@ -51,7 +51,11 @@ class _Bank:
 
 
 class _Access:
-    """One queued bank access (read, write, or masked write)."""
+    """One queued bank access (read, write, or masked write).
+
+    Instances recycle through :attr:`MainMemory._access_pool` — the banked
+    path allocates no per-access bookkeeping in steady state.
+    """
 
     __slots__ = ("kind", "addr", "callback", "enqueued_at")
 
@@ -112,6 +116,14 @@ class MainMemory(Component):
         #: from the network's endpoint kinds); None classifies everything
         #: as "other".
         self._classifier: Callable[[str], str] | None = None
+        # free lists for per-access records (flat [addr, callback, payload]
+        # commit records and banked _Access objects) plus bound stat
+        # handles; all counters/child groups stay lazily created.
+        self._rec_pool: list[list] = []
+        self._access_pool: list[_Access] = []
+        self._counters = self.stats._counters
+        self._bank_counters: dict[str, int | float] | None = None
+        self._class_counters: dict[str, int | float] | None = None
 
     def set_classifier(self, classifier: Callable[[str], str] | None) -> None:
         """Install the requester-name -> traffic-class mapping used by the
@@ -136,8 +148,22 @@ class MainMemory(Component):
         self._channel_free = start + self.clock.cycles_to_ticks(self.gap_cycles)
         wait = start - self.now
         if wait:
-            self.stats.inc("channel_wait_ticks", wait)
+            counters = self._counters
+            if "channel_wait_ticks" in counters:
+                counters["channel_wait_ticks"] += wait
+            else:
+                self.stats.inc("channel_wait_ticks", wait)
         return start
+
+    def _take_rec(self, addr: int, callback, payload) -> list:
+        pool = self._rec_pool
+        if pool:
+            rec = pool.pop()
+            rec[0] = addr
+            rec[1] = callback
+            rec[2] = payload
+            return rec
+        return [addr, callback, payload]
 
     def read(
         self,
@@ -150,17 +176,26 @@ class MainMemory(Component):
         ``source`` (a network endpoint name) selects the WRR traffic class
         in banked mode and is ignored by the flat channel.
         """
-        self.stats.inc("reads")
+        counters = self._counters
+        if "reads" in counters:
+            counters["reads"] += 1
+        else:
+            self.stats.inc("reads")
         if self._banked:
             self._enqueue("r", addr, callback, source)
             return
         start = self._claim_channel()
         finish = start + self.clock.cycles_to_ticks(self.latency_cycles)
         self._outstanding += 1
-        self.sim.events.schedule(finish, self._complete_read, 0, (addr, callback))
+        self.sim.events.schedule(
+            finish, self._complete_read, 0, self._take_rec(addr, callback, None)
+        )
 
-    def _complete_read(self, queued: tuple) -> None:
-        addr, callback = queued
+    def _complete_read(self, rec: list) -> None:
+        addr = rec[0]
+        callback = rec[1]
+        rec[1] = None
+        self._rec_pool.append(rec)
         self._outstanding -= 1
         callback(self._store.get(addr, ZERO_LINE))
 
@@ -173,21 +208,31 @@ class MainMemory(Component):
     ) -> None:
         """Timed write; the store is updated when the access starts (ordered
         channel, so a later read cannot pass it)."""
-        self.stats.inc("writes")
+        counters = self._counters
+        if "writes" in counters:
+            counters["writes"] += 1
+        else:
+            self.stats.inc("writes")
         if self._banked:
             self._store[addr] = data  # issue-order commit (see module doc)
             self._enqueue("w", addr, callback, source)
             return
         start = self._claim_channel()
         self._outstanding += 1
+        self.sim.events.schedule(
+            start, self._commit_write, 0, self._take_rec(addr, callback, data)
+        )
 
-        def commit() -> None:
-            self._outstanding -= 1
-            self._store[addr] = data
-            if callback is not None:
-                callback()
-
-        self.sim.events.schedule(start, commit)
+    def _commit_write(self, rec: list) -> None:
+        addr = rec[0]
+        callback = rec[1]
+        data = rec[2]
+        rec[1] = rec[2] = None
+        self._rec_pool.append(rec)
+        self._outstanding -= 1
+        self._store[addr] = data
+        if callback is not None:
+            callback()
 
     def write_words(
         self,
@@ -198,21 +243,31 @@ class MainMemory(Component):
     ) -> None:
         """Timed partial-line write (byte-enable style): only the given
         words are updated, read-modify applied atomically at commit time."""
-        self.stats.inc("writes")
+        counters = self._counters
+        if "writes" in counters:
+            counters["writes"] += 1
+        else:
+            self.stats.inc("writes")
         if self._banked:
             self._apply_words(addr, updates)  # issue-order commit
             self._enqueue("w", addr, callback, source)
             return
         start = self._claim_channel()
         self._outstanding += 1
+        self.sim.events.schedule(
+            start, self._commit_words, 0, self._take_rec(addr, callback, updates)
+        )
 
-        def commit() -> None:
-            self._outstanding -= 1
-            self._apply_words(addr, updates)
-            if callback is not None:
-                callback()
-
-        self.sim.events.schedule(start, commit)
+    def _commit_words(self, rec: list) -> None:
+        addr = rec[0]
+        callback = rec[1]
+        updates = rec[2]
+        rec[1] = rec[2] = None
+        self._rec_pool.append(rec)
+        self._outstanding -= 1
+        self._apply_words(addr, updates)
+        if callback is not None:
+            callback()
 
     def _apply_words(self, addr: int, updates: dict[int, int]) -> None:
         line = self._store.get(addr, ZERO_LINE)
@@ -234,7 +289,16 @@ class MainMemory(Component):
         cls = "other"
         if source is not None and self._classifier is not None:
             cls = self._classifier(source)
-        bank.arb.enqueue(cls, _Access(kind, addr, callback, self.now))
+        pool = self._access_pool
+        if pool:
+            access = pool.pop()
+            access.kind = kind
+            access.addr = addr
+            access.callback = callback
+            access.enqueued_at = self.now
+        else:
+            access = _Access(kind, addr, callback, self.now)
+        bank.arb.enqueue(cls, access)
         if not bank.arb.busy:
             self._bank_grant(bank)
 
@@ -249,21 +313,41 @@ class MainMemory(Component):
         cls, access = picked
         events = self.sim.events
         now = events.now
+        counters = self._counters
         wait = now - access.enqueued_at
         if wait:
-            self.stats.inc("bank_wait_ticks", wait)
-        stats = self.stats
-        banks_stats = stats.child("banks")
-        banks_stats.inc(bank.key)
-        stats.child("classes").inc(cls)
+            if "bank_wait_ticks" in counters:
+                counters["bank_wait_ticks"] += wait
+            else:
+                self.stats.inc("bank_wait_ticks", wait)
+        bank_counters = self._bank_counters
+        if bank_counters is None:
+            bank_counters = self._bank_counters = self.stats.child("banks")._counters
+            self._class_counters = self.stats.child("classes")._counters
+        key = bank.key
+        if key in bank_counters:
+            bank_counters[key] += 1
+        else:
+            bank_counters[key] = 1
+        class_counters = self._class_counters
+        if cls in class_counters:
+            class_counters[cls] += 1
+        else:
+            class_counters[cls] = 1
         # open-row timing
         if self.row_bytes:
             row = access.addr // self.row_bytes
             if bank.open_row == row:
-                stats.inc("row_hits")
+                if "row_hits" in counters:
+                    counters["row_hits"] += 1
+                else:
+                    self.stats.inc("row_hits")
                 latency = self.row_hit_latency_cycles
             else:
-                stats.inc("row_misses")
+                if "row_misses" in counters:
+                    counters["row_misses"] += 1
+                else:
+                    self.stats.inc("row_misses")
                 bank.open_row = row
                 latency = self.row_miss_latency_cycles
         else:
@@ -286,12 +370,19 @@ class MainMemory(Component):
 
     def _bank_complete_read(self, access: _Access) -> None:
         self._outstanding -= 1
-        access.callback(self._store.get(access.addr, ZERO_LINE))
+        addr = access.addr
+        callback = access.callback
+        access.callback = None
+        self._access_pool.append(access)
+        callback(self._store.get(addr, ZERO_LINE))
 
     def _bank_complete_write(self, access: _Access) -> None:
         self._outstanding -= 1
-        if access.callback is not None:
-            access.callback()
+        callback = access.callback
+        access.callback = None
+        self._access_pool.append(access)
+        if callback is not None:
+            callback()
 
     def _bank_next(self, bank: _Bank) -> None:
         self._bank_grant(bank)

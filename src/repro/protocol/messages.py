@@ -67,7 +67,7 @@ class Message:
     #: atomic responses: the old value read-modify-written.
     result: int = 0
     tid: int = -1
-    uid: int = field(default_factory=lambda: next(_uid_counter))
+    uid: int = field(default_factory=_uid_counter.__next__)
 
     @property
     def category(self) -> str:

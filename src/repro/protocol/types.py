@@ -20,6 +20,11 @@ class MoesiState(enum.Enum):
     S = "S"  # shared: readable copy (may be dirty w.r.t. memory under an O owner)
     I = "I"  # invalid
 
+    # members are identity-compared singletons, so the C-level id hash is
+    # equivalent to Enum's Python-level name hash — and these enums key the
+    # per-event transition/category dict lookups.
+    __hash__ = object.__hash__
+
     @property
     def readable(self) -> bool:
         return self is not MoesiState.I
@@ -40,6 +45,8 @@ class ViState(enum.Enum):
     V = "V"
     I = "I"
 
+    __hash__ = object.__hash__
+
 
 class DirState(enum.Enum):
     """Precise-directory stable states (§IV-A of the paper).
@@ -55,6 +62,8 @@ class DirState(enum.Enum):
     S = "S"
     O = "O"
     B = "B"
+
+    __hash__ = object.__hash__
 
 
 class MsgType(enum.Enum):
@@ -105,6 +114,8 @@ class MsgType(enum.Enum):
     def is_victim(self) -> bool:
         return self in (MsgType.VIC_DIRTY, MsgType.VIC_CLEAN)
 
+    __hash__ = object.__hash__
+
 
 _REQUESTS = frozenset(
     {
@@ -126,6 +137,8 @@ class ProbeType(enum.Enum):
     INVALIDATE = "inv"
     DOWNGRADE = "down"
 
+    __hash__ = object.__hash__
+
 
 class RequesterKind(enum.Enum):
     """Who a directory request came from — decides response shape."""
@@ -133,3 +146,5 @@ class RequesterKind(enum.Enum):
     CPU_L2 = "l2"
     TCC = "tcc"
     DMA = "dma"
+
+    __hash__ = object.__hash__

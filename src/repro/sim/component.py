@@ -21,6 +21,9 @@ class Component:
 
     def __init__(self, sim: "Simulator", name: str, clock: ClockDomain) -> None:
         self.sim = sim
+        #: the simulator's event queue, bound once (it is never replaced)
+        #: so hot paths skip the ``sim.events`` attribute chain.
+        self.events = sim.events
         self.name = name
         self.clock = clock
         self.stats = StatGroup(name)
@@ -28,7 +31,7 @@ class Component:
 
     @property
     def now(self) -> int:
-        return self.sim.now
+        return self.events.now
 
     def schedule(
         self,
@@ -39,7 +42,7 @@ class Component:
     ) -> None:
         """Run ``callback`` (or ``callback(arg)``) after ``delay_cycles`` of
         this component's clock."""
-        events = self.sim.events
+        events = self.events
         events.schedule(
             events.now + self.clock.cycles_to_ticks(delay_cycles),
             callback, priority, arg,
@@ -71,6 +74,10 @@ class Controller(Component):
     ) -> None:
         super().__init__(sim, name, clock)
         self.service_cycles = service_cycles
+        #: occupancy per message in ticks; ``service_cycles`` is fixed at
+        #: construction everywhere in the tree, so the clock conversion is
+        #: done once here instead of per delivered message.
+        self._service_ticks = clock.cycles_to_ticks(service_cycles)
         self._next_free = 0
         #: transition observers (repro.coherence.engine.TransitionHook);
         #: a tuple so the per-fire "any hooks?" check is a cheap truth test.
@@ -87,17 +94,25 @@ class Controller(Component):
         memoized tick conversion and ``handle_message`` is scheduled with
         the event queue's ``(callback, arg)`` form instead of a closure.
         """
-        now = self.sim.events.now
+        events = self.events
+        now = events.now
+        counters = self.stats._counters
         start = self._next_free
         if start < now:
             start = now
         else:
             busy = start - now
             if busy:
-                self.stats.inc("queue_wait_ticks", busy)
-        self._next_free = start + self.clock.cycles_to_ticks(self.service_cycles)
-        self.stats.inc("messages_received")
-        self.sim.events.schedule(start, self.handle_message, 0, msg)
+                if "queue_wait_ticks" in counters:
+                    counters["queue_wait_ticks"] += busy
+                else:
+                    self.stats.inc("queue_wait_ticks", busy)
+        self._next_free = start + self._service_ticks
+        if "messages_received" in counters:
+            counters["messages_received"] += 1
+        else:
+            self.stats.inc("messages_received")
+        events.schedule(start, self.handle_message, 0, msg)
 
     def handle_message(self, msg: Any) -> None:
         raise NotImplementedError(f"{type(self).__name__} must implement handle_message")

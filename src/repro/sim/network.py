@@ -76,15 +76,37 @@ class _Route:
 
 
 class _InPort:
-    """A shared endpoint's WRR-arbitrated, finite-bandwidth input port."""
+    """A shared endpoint's WRR-arbitrated, finite-bandwidth input port.
 
-    __slots__ = ("name", "arb", "deliver", "max_depth")
+    Stat-counter keys (``<name>.grants.<class>``, ``<name>.wait_ticks``,
+    ``<name>.max_depth``) are precomputed once per port/class instead of
+    being f-string-built per granted message.
+    """
+
+    __slots__ = ("name", "arb", "deliver", "max_depth",
+                 "wait_key", "depth_key", "grant_keys")
 
     def __init__(self, name: str, arb: WrrArbiter, deliver: Any) -> None:
         self.name = name
         self.arb = arb
         self.deliver = deliver
         self.max_depth = 0
+        self.wait_key = name + ".wait_ticks"
+        self.depth_key = name + ".max_depth"
+        #: traffic class -> "<port>.grants.<class>" (lazily extended)
+        self.grant_keys: dict[str, str] = {}
+
+
+class _OutPort:
+    """A sender's finite-bandwidth output port: free tick + stat keys."""
+
+    __slots__ = ("free", "busy_key", "wait_key", "queued_key")
+
+    def __init__(self, name: str) -> None:
+        self.free = 0
+        self.busy_key = name + ".busy_ticks"
+        self.wait_key = name + ".wait_ticks"
+        self.queued_key = name + ".queued_msgs"
 
 
 class Network(Component):
@@ -119,12 +141,19 @@ class Network(Component):
         self.arb_weights = dict(arb_weights) if arb_weights else {}
         self.link_bytes_per_cycle = 0
         self._ser_memo: dict[int, int] = {}
-        #: per-sender output-port free tick (time-based FIFO queue)
-        self._port_free: dict[str, int] = {}
+        #: per-sender output ports (free tick + precomputed stat keys)
+        self._out_ports: dict[str, _OutPort] = {}
         #: per-shared-destination WRR input ports, keyed by endpoint name
         self._in_ports: dict[str, _InPort] = {}
         self._port_stats = None
         self._arb_stats = None
+        #: free lists for the contended path's per-hop queue records
+        #: ([port, arb_class, msg] flight records and [enqueued_at, msg] /
+        #: [port, msg] arbitration entries) — reused instead of allocated
+        #: per message hop.
+        self._hop_pool: list[list] = []
+        self._entry_pool: list[list] = []
+        self._grant_pool: list[list] = []
         if link_bytes_per_cycle:
             self.set_link_bandwidth(link_bytes_per_cycle)
 
@@ -316,43 +345,83 @@ class Network(Component):
     def _send_contended(self, msg: Any, route: _Route) -> None:
         """Finite-bandwidth path: serialize on the sender's output port,
         fly the route latency, then either deliver or join the destination's
-        WRR input arbitration."""
+        WRR input arbitration.
+
+        Port stats use the precomputed :class:`_OutPort` keys and the bound
+        counter dict directly (same lazily-created counters as before), and
+        the in-flight ``[port, arb_class, msg]`` record comes from a free
+        list — the contended fabric allocates no per-hop bookkeeping in
+        steady state.
+        """
         events = self.sim.events
         now = events.now
         ser = self._ser_ticks(msg.size_bytes)
-        src = msg.src
-        free = self._port_free.get(src, 0)
+        port_out = self._out_ports.get(msg.src)
+        if port_out is None:
+            port_out = self._out_ports[msg.src] = _OutPort(msg.src)
+        free = port_out.free
         start = now if free <= now else free
-        self._port_free[src] = start + ser
+        port_out.free = start + ser
         stats = self._port_stats
         if stats is None:
             stats = self._port_stats = self.stats.child("ports")
-        stats.inc(f"{src}.busy_ticks", ser)
+        counters = stats._counters
+        key = port_out.busy_key
+        if key in counters:
+            counters[key] += ser
+        else:
+            stats.inc(key, ser)
         wait = start - now
         if wait:
-            stats.inc(f"{src}.wait_ticks", wait)
-            stats.inc(f"{src}.queued_msgs")
+            key = port_out.wait_key
+            if key in counters:
+                counters[key] += wait
+            else:
+                stats.inc(key, wait)
+            key = port_out.queued_key
+            if key in counters:
+                counters[key] += 1
+            else:
+                stats.inc(key)
         arrival = start + ser + route.delay_ticks
         port = route.in_port
         if port is None:
             events.schedule(arrival, route.deliver, 0, msg)
         else:
-            events.schedule(arrival, self._arb_arrive, 0,
-                            (port, route.arb_class, msg))
+            pool = self._hop_pool
+            if pool:
+                hop = pool.pop()
+                hop[0] = port
+                hop[1] = route.arb_class
+                hop[2] = msg
+            else:
+                hop = [port, route.arb_class, msg]
+            events.schedule(arrival, self._arb_arrive, 0, hop)
 
-    def _arb_arrive(self, queued: tuple) -> None:
+    def _arb_arrive(self, hop: list) -> None:
         """A message reaches a shared port: enqueue in its class, and start
         the grant engine if the port is idle."""
-        port, arb_class, msg = queued
+        port = hop[0]
+        arb_class = hop[1]
+        msg = hop[2]
+        hop[0] = hop[2] = None
+        self._hop_pool.append(hop)
         arb = port.arb
-        arb.enqueue(arb_class, (self.sim.events.now, msg))
+        pool = self._entry_pool
+        if pool:
+            entry = pool.pop()
+            entry[0] = self.sim.events.now
+            entry[1] = msg
+        else:
+            entry = [self.sim.events.now, msg]
+        arb.enqueue(arb_class, entry)
         depth = arb.pending()
         if depth > port.max_depth:
             port.max_depth = depth
             stats = self._arb_stats
             if stats is None:
                 stats = self._arb_stats = self.stats.child("arb")
-            stats.set(f"{port.name}.max_depth", depth)
+            stats.set(port.depth_key, depth)
         if not arb.busy:
             self._arb_grant(port)
 
@@ -365,22 +434,49 @@ class Network(Component):
             arb.busy = False
             return
         arb.busy = True
-        arb_class, (enqueued_at, msg) = picked
+        arb_class, entry = picked
+        enqueued_at = entry[0]
+        msg = entry[1]
+        entry[1] = None
+        self._entry_pool.append(entry)
         events = self.sim.events
         now = events.now
         stats = self._arb_stats
         if stats is None:
             stats = self._arb_stats = self.stats.child("arb")
-        stats.inc(f"{port.name}.grants.{arb_class}")
+        counters = stats._counters
+        key = port.grant_keys.get(arb_class)
+        if key is None:
+            key = port.grant_keys.setdefault(
+                arb_class, f"{port.name}.grants.{arb_class}"
+            )
+        if key in counters:
+            counters[key] += 1
+        else:
+            stats.inc(key)
         wait = now - enqueued_at
         if wait:
-            stats.inc(f"{port.name}.wait_ticks", wait)
+            key = port.wait_key
+            if key in counters:
+                counters[key] += wait
+            else:
+                stats.inc(key, wait)
+        pool = self._grant_pool
+        if pool:
+            grant = pool.pop()
+            grant[0] = port
+            grant[1] = msg
+        else:
+            grant = [port, msg]
         events.schedule(now + self._ser_ticks(msg.size_bytes),
-                        self._arb_complete, 0, (port, msg))
+                        self._arb_complete, 0, grant)
 
-    def _arb_complete(self, queued: tuple) -> None:
+    def _arb_complete(self, grant: list) -> None:
         """The granted message has fully crossed the input port: deliver it
         and grant the next one."""
-        port, msg = queued
+        port = grant[0]
+        msg = grant[1]
+        grant[0] = grant[1] = None
+        self._grant_pool.append(grant)
         port.deliver(msg)
         self._arb_grant(port)
