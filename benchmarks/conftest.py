@@ -1,14 +1,18 @@
 """Shared fixtures for the figure/table regeneration benchmarks.
 
-Runs execute through the parallel runner (:mod:`repro.runner`): a
-session-scoped :class:`ExperimentMatrix` fans cells out over a process
-pool and persists every result in ``.repro_cache/`` at the repo root, so
-a warm re-run of ``pytest benchmarks/`` performs zero simulations.
+Runs resolve through the results store (:mod:`repro.store`): a
+session-scoped :class:`ExperimentMatrix` fans cold cells out over a
+process pool and persists every result in ``.repro_store.sqlite`` at the
+repo root, so a warm re-run of ``pytest benchmarks/`` performs zero
+simulations.  A legacy ``.repro_cache/`` file tree, if present, is
+migrated into the store on first use.
 
 Knobs (also see ``--jobs`` / ``--fresh-cache`` pytest options):
 
 - ``REPRO_JOBS=N`` — worker processes (default: ``os.cpu_count()``).
-- ``REPRO_NO_CACHE=1`` — disable the persistent cache for this session.
+- ``REPRO_NO_CACHE=1`` — disable the persistent store for this session.
+- ``REPRO_STORE_PATH`` — store location (default: ``.repro_store.sqlite``).
+- ``REPRO_SERVE=host:port`` — resolve cells via a running ``repro serve``.
 
 Every regenerated figure is printed and also written to
 ``benchmark_results/``.
@@ -22,11 +26,13 @@ import pathlib
 import pytest
 
 from repro.analysis.experiments import ExperimentMatrix
-from repro.runner import ResultCache, default_progress
+from repro.runner import default_progress
+from repro.store import ResultStore
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO_ROOT / "benchmark_results"
 CACHE_DIR = REPO_ROOT / ".repro_cache"
+STORE_PATH = REPO_ROOT / ".repro_store.sqlite"
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -36,7 +42,7 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     )
     parser.addoption(
         "--fresh-cache", action="store_true",
-        help="clear the persistent result cache before running",
+        help="clear the persistent results store before running",
     )
 
 
@@ -45,11 +51,17 @@ def matrix(request: pytest.FixtureRequest) -> ExperimentMatrix:
     jobs = request.config.getoption("--jobs")
     if jobs is None and os.environ.get("REPRO_JOBS"):
         jobs = int(os.environ["REPRO_JOBS"])
-    cache = ResultCache(CACHE_DIR, enabled=not os.environ.get("REPRO_NO_CACHE"))
+    path = os.environ.get("REPRO_STORE_PATH") or STORE_PATH
+    store = ResultStore(path, enabled=not os.environ.get("REPRO_NO_CACHE"))
     if request.config.getoption("--fresh-cache"):
-        cache.clear()
+        store.clear()
+    elif store.enabled and CACHE_DIR.exists() and not pathlib.Path(path).exists():
+        migrated = store.migrate_cache(CACHE_DIR)
+        if migrated:
+            print(f"[store] migrated {migrated} legacy cache entr(ies) "
+                  f"from {CACHE_DIR}")
     return ExperimentMatrix(
-        scale=1.0, jobs=jobs, cache=cache, progress=default_progress
+        scale=1.0, jobs=jobs, store=store, progress=default_progress
     )
 
 

@@ -18,7 +18,8 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.coherence.policies import PRESETS, DirectoryPolicy
-from repro.runner import Cell, ResultCache, run_cells
+from repro.runner import Cell, ResultCache
+from repro.store import ResultStore, resolve_cells
 from repro.system.apu import SimulationResult
 from repro.system.config import SystemConfig
 from repro.workloads.base import Workload
@@ -76,6 +77,8 @@ def sweep(
     jobs: int | None = None,
     cache: ResultCache | None = None,
     progress=None,
+    store: ResultStore | None = None,
+    serve=None,
 ) -> SweepResult:
     """Run ``workload`` over ``axis`` x ``policies``.
 
@@ -83,9 +86,11 @@ def sweep(
     :class:`SystemConfig` (e.g. ``mem_latency_cycles``, ``num_corepairs``)
     or to :class:`DirectoryPolicy` (e.g. ``dir_entries``, ``dir_banks``).
 
-    The cross product is embarrassingly parallel: with ``jobs > 1`` the
-    cells fan out over the :mod:`repro.runner` process pool, and a
-    :class:`ResultCache` serves previously-simulated points from disk.
+    The cross product is embarrassingly parallel: cells resolve through
+    :func:`repro.store.resolve_cells` — a :class:`ResultStore` (or legacy
+    :class:`ResultCache`) serves previously-simulated points from disk, a
+    serve daemon shards cold cells, and the rest fan out over ``jobs``
+    local workers.
     """
     axis_name, axis_values = axis
     instance = get_workload(workload) if isinstance(workload, str) else workload
@@ -114,7 +119,11 @@ def sweep(
                 label=f"{instance.name}/{policy_name}/{axis_name}={value}",
             ))
             labels.append((policy_name, value))
-    runs = run_cells(cells, jobs=jobs, cache=cache, progress=progress)
+    runs = resolve_cells(
+        cells, jobs=jobs,
+        store=store if store is not None else cache,
+        progress=progress, serve=serve,
+    )
     for (policy_name, value), run in zip(labels, runs):
         if not run.ok:
             raise RuntimeError(

@@ -6,8 +6,15 @@ Subcommands:
   (optionally energy breakdown, stats dump, protocol trace tail).
 - ``compare`` — run one workload across several policies, print a table.
 - ``figures`` — regenerate the paper's figures (Figures 4-7 + tables).
-- ``bench`` — regenerate figures through the parallel runner with the
-  persistent result cache (``--jobs``, ``--no-cache``, ``--clear-cache``).
+- ``bench`` — regenerate figures through the results store (``--jobs``,
+  ``--no-cache``, ``--clear-cache``, ``--serve``); warm cells are
+  sub-millisecond store lookups.
+- ``store`` — administer the persistent SQLite results store
+  (``stats``, ``gc``, ``clear``, ``export``/``import`` snapshots,
+  ``migrate`` a legacy ``.repro_cache/`` tree).
+- ``serve`` — run the always-on cell server: shards cold cells over a
+  persistent worker pool, dedups in-flight identical cells, answers
+  warm cells from the store.
 - ``lint-protocol`` — statically lint every shipped transition table
   (unhandled pairs, unreachable states, dead transitions).
 - ``litmus`` — run the litmus suite across schedules and policy variants
@@ -102,14 +109,20 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--verify", action="store_true",
                          help="attach the invariant monitor and value oracle")
     bench_p.add_argument("--no-cache", action="store_true",
-                         help="disable the persistent result cache")
+                         help="disable the persistent results store")
+    bench_p.add_argument("--store-path", default=None, metavar="DB",
+                         help="results store location (default: "
+                              ".repro_store.sqlite, or $REPRO_STORE_PATH)")
     bench_p.add_argument("--cache-dir", default=None, metavar="DIR",
-                         help="cache location (default: .repro_cache, or "
-                              "$REPRO_CACHE_DIR)")
+                         help="use the legacy file cache at DIR instead of "
+                              "the SQLite store")
     bench_p.add_argument("--clear-cache", action="store_true",
-                         help="clear the cache before running")
+                         help="clear the store/cache before running")
     bench_p.add_argument("--timeout", type=float, default=None, metavar="S",
                          help="per-cell wall-clock timeout in seconds")
+    bench_p.add_argument("--serve", default=None, metavar="HOST:PORT",
+                         help="resolve cold cells via a running "
+                              "`repro serve` daemon (default: $REPRO_SERVE)")
 
     prof_p = sub.add_parser(
         "profile",
@@ -168,6 +181,51 @@ def _build_parser() -> argparse.ArgumentParser:
                             "trace events")
     lit_p.add_argument("-v", "--verbose", action="store_true",
                        help="print every (policy, schedule) run")
+    lit_p.add_argument("--store", nargs="?", const="", default=None,
+                       metavar="DB",
+                       help="memoize (test, policy, schedule) outcomes in "
+                            "the results store (default path: "
+                            ".repro_store.sqlite, or $REPRO_STORE_PATH)")
+
+    store_p = sub.add_parser(
+        "store",
+        help="administer the persistent SQLite results store",
+    )
+    store_p.add_argument("action",
+                         choices=["stats", "gc", "clear", "export", "import",
+                                  "migrate"])
+    store_p.add_argument("file", nargs="?", default=None,
+                         help="snapshot file (export/import) or legacy "
+                              "cache directory (migrate)")
+    store_p.add_argument("--path", default=None, metavar="DB",
+                         help="store location (default: .repro_store.sqlite, "
+                              "or $REPRO_STORE_PATH)")
+    store_p.add_argument("--kind", default=None,
+                         choices=["cell", "litmus"],
+                         help="export only rows of this kind")
+    store_p.add_argument("--all", action="store_true",
+                         help="export stale rows too (default: only rows "
+                              "fresh against the current sources)")
+    store_p.add_argument("--older-than", type=float, default=None,
+                         metavar="S", help="gc: also drop fresh rows older "
+                         "than S seconds")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the always-on experiment-cell server (localhost HTTP)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="listen port (default: ephemeral; the bound "
+                              "address is printed on startup)")
+    serve_p.add_argument("--jobs", type=_positive_int, default=None,
+                         help="persistent worker processes "
+                              "(default: os.cpu_count())")
+    serve_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="default per-cell wall-clock timeout")
+    serve_p.add_argument("--store-path", default=None, metavar="DB",
+                         help="results store location (default: "
+                              ".repro_store.sqlite, or $REPRO_STORE_PATH)")
 
     val_p = sub.add_parser("validate",
                            help="check every headline claim (scorecard)")
@@ -274,18 +332,25 @@ def _bench(args) -> int:
     import time
 
     from repro.runner import ResultCache, default_progress
+    from repro.store import ResultStore
 
-    cache = ResultCache(args.cache_dir, enabled=not args.no_cache)
+    if args.cache_dir is not None:
+        backend = ResultCache(args.cache_dir, enabled=not args.no_cache)
+        location = backend.root
+    else:
+        backend = ResultStore(args.store_path, enabled=not args.no_cache)
+        location = backend.path
     if args.clear_cache:
-        removed = cache.clear()
-        print(f"cleared {removed} cached result(s) from {cache.root}")
+        removed = backend.clear()
+        print(f"cleared {removed} stored result(s) from {location}")
     matrix = ExperimentMatrix(
         scale=args.scale,
         verify=args.verify,
         jobs=args.jobs,
-        cache=cache if not args.no_cache else None,
+        store=backend if not args.no_cache else None,
         progress=default_progress,
         timeout_s=args.timeout,
+        serve=args.serve,
     )
     figures = {
         "4": run_figure4,
@@ -304,7 +369,8 @@ def _bench(args) -> int:
     elapsed = time.perf_counter() - start
     print(
         f"\n[bench] {elapsed:.2f}s wall clock, "
-        f"cache: {cache.hits} hit(s) / {cache.misses} miss(es) at {cache.root}"
+        f"store: {backend.hits} hit(s) / {backend.misses} miss(es) "
+        f"at {location}"
     )
     return 0
 
@@ -447,13 +513,18 @@ def _litmus(args) -> int:
     else:
         policies = POLICY_VARIANTS
     schedules = default_schedules(args.schedules)
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store or None)
 
     start = time.perf_counter()
     total_runs = failures = mismatches = 0
     failed_reports = []
     for test in tests:
         report = run_differential(test, policies=policies,
-                                  schedules=schedules)
+                                  schedules=schedules, store=store)
         total_runs += len(report.outcomes)
         failures += len(report.failures)
         mismatches += len(report.mismatches)
@@ -470,6 +541,9 @@ def _litmus(args) -> int:
     print(f"\n[litmus] {len(tests)} tests x {len(policies)} policies x "
           f"{len(schedules)} schedules = {total_runs} runs in {elapsed:.1f}s: "
           f"{failures} failure(s), {mismatches} differential mismatch(es)")
+    if store is not None:
+        print(f"[litmus] store: {store.hits} warm hit(s), "
+              f"{store.puts} new row(s) at {store.path}")
 
     if failed_reports and args.minimize:
         os.makedirs(args.artifact_dir, exist_ok=True)
@@ -491,6 +565,66 @@ def _litmus(args) -> int:
             dump_artifact(result, path)
             print(f"  minimized: {result.describe()}\n  artifact: {path}")
     return 0 if not failed_reports else 1
+
+
+def _store(args) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore(args.path)
+    if args.action == "stats":
+        stats = store.stats()
+        session = stats.pop("session")
+        for key, value in stats.items():
+            print(f"{key:<12} {value}")
+        del session  # freshly opened: all zeros, not informative
+        return 0
+    if args.action == "gc":
+        removed = store.gc(older_than_s=args.older_than)
+        print(f"reclaimed {removed} row(s) from {store.path}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} row(s) from {store.path}")
+        return 0
+    if args.file is None:
+        print(f"store {args.action} needs a file argument", file=sys.stderr)
+        return 2
+    if args.action == "export":
+        count = store.export_snapshot(
+            args.file, kind=args.kind, fresh_only=not args.all
+        )
+        print(f"exported {count} row(s) to {args.file}")
+        return 0
+    if args.action == "import":
+        count = store.import_snapshot(args.file)
+        print(f"imported {count} row(s) from {args.file} into {store.path}")
+        return 0
+    count = store.migrate_cache(args.file)
+    print(f"migrated {count} legacy cache entr(ies) from {args.file} "
+          f"into {store.path}")
+    return 0
+
+
+def _serve(args) -> int:
+    from repro.serve import ServeDaemon
+    from repro.store import ResultStore
+
+    store = ResultStore(args.store_path)
+    daemon = ServeDaemon(
+        store, host=args.host, port=args.port, jobs=args.jobs,
+        timeout_s=args.timeout,
+    )
+    print(f"[serve] listening on {daemon.address} "
+          f"({daemon.jobs} worker(s), store {store.path})")
+    print(f"[serve] point clients at it with REPRO_SERVE={daemon.address}")
+    try:
+        daemon.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[serve] shutting down")
+    finally:
+        daemon.shutdown()
+        store.close()
+    return 0
 
 
 def _validate(args) -> int:
@@ -529,6 +663,10 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_protocol(args)
     if args.command == "litmus":
         return _litmus(args)
+    if args.command == "store":
+        return _store(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "validate":
         return _validate(args)
     return _list()

@@ -100,13 +100,27 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> SimulationResult | None:
-        """The cached result for ``key``, or None on a miss."""
+        """The cached result for ``key``, or None on a miss.
+
+        A present-but-corrupt entry (truncated write, bad JSON, wrong
+        shape) is evicted so it cannot shadow a future good write, then
+        reported as an ordinary miss.
+        """
         if not self.enabled:
             return None
+        path = self._path(key)
         try:
-            data = json.loads(self._path(key).read_text())
-            result = result_from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(json.loads(text)["result"])
+        except (ValueError, KeyError, TypeError):
+            try:
+                path.unlink()
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
@@ -129,10 +143,15 @@ class ResultCache:
             "config": config_to_dict(cell.config),
             "result": result_to_dict(result),
         }
+        # Crash-safe: serialize to a sibling temp file, flush it to disk,
+        # then atomically rename over the final name — readers only ever
+        # see a missing entry or a complete one, never a partial write.
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:

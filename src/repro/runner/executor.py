@@ -1,10 +1,16 @@
 """Process-pool execution of simulation cells.
 
-``run_cells`` is the single entry point: it checks the persistent cache,
-fans the remaining cells out over a :class:`ProcessPoolExecutor`
-(``jobs=1`` stays in-process), enforces a per-cell timeout (SIGALRM inside
-the worker, where available), retries each crashed cell once in a fresh
-pool, and emits structured progress lines.
+``run_cells`` is a thin client of the results store: it delegates to
+:func:`repro.store.resolve.resolve_cells`, the single resolution entry
+point shared by figures, sweeps, benchmarks, and the serve daemon.  This
+module keeps the execution primitives resolution fans out to:
+
+- :func:`run_cell_inline` — the serial in-process reference path;
+- :func:`run_pool` — fan-out over a :class:`ProcessPoolExecutor` with a
+  per-cell timeout (SIGALRM inside the worker, where available) and
+  bounded retries for crashed *or* timed-out cells;
+- :func:`_run_payload` — the worker entry point (also used by the serve
+  daemon's persistent pool).
 
 Workers rebuild the system from the serialized config and return the
 result as a plain dict (see :mod:`repro.system.serialize`), so nothing
@@ -22,12 +28,11 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Callable, Sequence
 
-from repro.runner.cache import ResultCache, cell_key
 from repro.runner.cells import Cell
 from repro.system.apu import SimulationResult
-from repro.system.serialize import config_from_dict, config_to_dict, result_from_dict, result_to_dict
+from repro.system.serialize import config_from_dict, config_to_dict, result_from_dict
 
-#: how many times a crashed cell is resubmitted before giving up
+#: how many times a crashed or timed-out cell is resubmitted before giving up
 DEFAULT_RETRIES = 1
 
 
@@ -73,6 +78,7 @@ def _run_payload(payload: dict) -> dict:
         signal.alarm(max(1, int(timeout_s)))
     try:
         from repro.system.builder import build_system
+        from repro.system.serialize import result_to_dict
         from repro.workloads.registry import get_workload
 
         config = config_from_dict(payload["config"])
@@ -117,69 +123,66 @@ def _picklable(payload: dict) -> bool:
 def run_cells(
     cells: Sequence[Cell],
     jobs: int | None = None,
-    cache: ResultCache | None = None,
+    cache=None,
     timeout_s: float | None = None,
     retries: int = DEFAULT_RETRIES,
     progress: Callable[[str], None] | None = None,
+    store=None,
+    serve=None,
 ) -> list[SimulationResult]:
     """Run every cell, in input order, returning one result per cell.
 
-    Cached cells are served from ``cache`` without simulating; the rest run
-    on a pool of ``jobs`` workers (``jobs=1`` or a single pending cell runs
-    in-process).  Identical duplicate cells are simulated once.
+    A thin client of the results store: ``store`` (a
+    :class:`repro.store.ResultStore`) or ``cache`` (the legacy file
+    :class:`ResultCache` — both expose the same backend surface) serves
+    warm cells without simulating, ``serve`` routes execution to a running
+    ``repro serve`` daemon, and the rest fans out over ``jobs`` local
+    workers.  Identical duplicate cells are simulated once.
     """
-    jobs = effective_jobs(jobs)
-    emit = progress or (lambda line: None)
-    total = len(cells)
-    results: list[SimulationResult | None] = [None] * total
-    keys = [cell_key(cell) if cache is not None else None for cell in cells]
+    from repro.store.resolve import resolve_cells
 
-    pending: list[int] = []
-    seen_keys: dict[str, int] = {}
-    duplicates: list[tuple[int, int]] = []
-    for index, cell in enumerate(cells):
-        key = keys[index]
-        if cache is not None:
-            cached = cache.get(key)
-            if cached is not None:
-                results[index] = cached
-                emit(f"[runner] {index + 1}/{total} {cell.display}: cache hit")
-                continue
-            if key in seen_keys:
-                duplicates.append((index, seen_keys[key]))
-                continue
-            seen_keys[key] = index
-        pending.append(index)
-
-    if pending:
-        if jobs <= 1 or len(pending) == 1:
-            for position, index in enumerate(pending):
-                start = time.perf_counter()
-                results[index] = run_cell_inline(cells[index])
-                emit(
-                    f"[runner] {position + 1}/{len(pending)} {cells[index].display}: "
-                    f"simulated inline in {time.perf_counter() - start:.2f}s"
-                )
-        else:
-            _run_pool(cells, pending, results, jobs, timeout_s, retries, emit)
-        if cache is not None:
-            for index in pending:
-                cache.put(keys[index], cells[index], results[index])
-
-    for index, source in duplicates:
-        results[index] = results[source]
-    return results  # type: ignore[return-value]
+    return resolve_cells(
+        cells,
+        store=store if store is not None else cache,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        retries=retries,
+        progress=progress,
+        serve=serve,
+    )
 
 
-def _run_pool(
+def run_inline(
     cells: Sequence[Cell],
-    pending: list[int],
+    pending: Sequence[int],
+    results: list,
+    emit: Callable[[str], None],
+) -> None:
+    """Serial execution of ``pending`` into ``results`` (reference path)."""
+    for position, index in enumerate(pending):
+        start = time.perf_counter()
+        results[index] = run_cell_inline(cells[index])
+        emit(
+            f"[runner] {position + 1}/{len(pending)} {cells[index].display}: "
+            f"simulated inline in {time.perf_counter() - start:.2f}s"
+        )
+
+
+def run_pool(
+    cells: Sequence[Cell],
+    pending: Sequence[int],
     results: list,
     jobs: int,
     timeout_s: float | None,
     retries: int,
     emit: Callable[[str], None],
 ) -> None:
+    """Fan ``pending`` out over a process pool with retry on crash/timeout.
+
+    Progress accounting counts each *unique* cell exactly once: a cell
+    that times out or crashes and then succeeds on retry contributes one
+    ``done/total`` line, and ``total`` never inflates with re-attempts.
+    """
     payloads = {index: _cell_payload(cells[index], timeout_s) for index in pending}
     # Unpicklable workload instances cannot cross the process boundary;
     # run them inline rather than poisoning the pool.
@@ -204,24 +207,31 @@ def _run_pool(
                 cell = cells[index]
                 try:
                     results[index] = result_from_dict(future.result())
-                    done += 1
-                    emit(f"[runner] {done}/{total} {cell.display}: simulated on pool")
-                except CellTimeout as exc:
-                    raise CellError(
-                        f"cell {cell.display} timed out after {timeout_s}s"
-                    ) from exc
-                except Exception as exc:  # crash, BrokenProcessPool, pickling
+                except Exception as exc:  # timeout, crash, BrokenProcessPool
                     attempts[index] += 1
+                    timed_out = isinstance(exc, CellTimeout)
                     if attempts[index] > retries:
+                        if timed_out:
+                            raise CellError(
+                                f"cell {cell.display} timed out after "
+                                f"{timeout_s}s ({attempts[index]} attempt(s))"
+                            ) from exc
                         raise CellError(
                             f"cell {cell.display} failed after "
                             f"{attempts[index]} attempt(s): {exc}"
                         ) from exc
+                    reason = (
+                        "timed out" if timed_out
+                        else f"crashed ({type(exc).__name__})"
+                    )
                     emit(
-                        f"[runner] {cell.display}: crashed ({type(exc).__name__}), "
+                        f"[runner] {cell.display}: {reason}, "
                         f"retry {attempts[index]}/{retries}"
                     )
                     queue.append(index)
+                else:
+                    done += 1
+                    emit(f"[runner] {done}/{total} {cell.display}: simulated on pool")
 
 
 def default_progress(line: str) -> None:

@@ -1,0 +1,20 @@
+"""The ``repro serve`` daemon and its client.
+
+- :class:`ServeDaemon` — localhost HTTP server owning the results store
+  and a persistent worker pool, with in-flight dedup of identical cells.
+- :class:`ServeClient` — resolves cell batches against a running daemon.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import cell_to_payload, parse_address, payload_to_cell
+from repro.serve.server import ServeDaemon, ServeStats
+
+__all__ = [
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeStats",
+    "cell_to_payload",
+    "parse_address",
+    "payload_to_cell",
+]

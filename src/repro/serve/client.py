@@ -1,0 +1,124 @@
+"""Client for the ``repro serve`` daemon.
+
+``ServeClient`` turns a batch of cells into results over one streamed
+HTTP request, forwarding the daemon's progress lines to the caller's
+``progress`` sink.  ``resolve_cells`` uses it transparently whenever a
+daemon address is configured (``serve=`` argument or ``$REPRO_SERVE``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Callable, Sequence
+
+from repro.runner.cells import Cell
+from repro.serve.protocol import cell_to_payload, parse_address
+from repro.system.apu import SimulationResult
+from repro.system.serialize import result_from_dict
+
+#: socket timeout for quick control-plane calls (health, stats)
+CONTROL_TIMEOUT_S = 5.0
+
+
+class ServeError(OSError):
+    """The daemon reported a failure or returned a malformed response."""
+
+
+class ServeClient:
+    """Talks to one daemon at ``host:port`` (see ``repro serve``)."""
+
+    def __init__(self, address: str) -> None:
+        self.host, self.port = parse_address(address)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _json_get(self, path: str) -> dict:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=CONTROL_TIMEOUT_S
+        )
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            data = json.loads(response.read())
+            if response.status != 200:
+                raise ServeError(f"GET {path} -> {response.status}: {data}")
+            return data
+        finally:
+            conn.close()
+
+    def health(self) -> dict:
+        return self._json_get("/health")
+
+    def stats(self) -> dict:
+        return self._json_get("/stats")
+
+    def resolve(
+        self,
+        cells: Sequence[Cell],
+        progress: Callable[[str], None] | None = None,
+        timeout_s: float | None = None,
+    ) -> list[SimulationResult]:
+        """Resolve ``cells`` (registry-name workloads only) on the daemon.
+
+        Blocks until every cell is answered; the connection has no read
+        timeout because cold cells legitimately simulate for a while.
+        ``timeout_s`` is the *per-cell* budget enforced inside the
+        daemon's workers, not a transport timeout.
+        """
+        if not cells:
+            return []
+        emit = progress or (lambda line: None)
+        body = json.dumps({
+            "cells": [cell_to_payload(cell) for cell in cells],
+            "timeout_s": timeout_s,
+        }).encode()
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=CONTROL_TIMEOUT_S)
+        try:
+            conn.request("POST", "/cells", body=body, headers={
+                "Content-Type": "application/json",
+                "Content-Length": str(len(body)),
+            })
+            # The connect used the control timeout; reads can stall for as
+            # long as one simulation takes.  Must happen before
+            # getresponse(): a close-delimited response detaches the
+            # socket from the connection object.
+            if conn.sock is not None:
+                conn.sock.settimeout(None)
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeError(
+                    f"POST /cells -> {response.status}: {response.read()!r}"
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError as exc:
+                    raise ServeError(f"malformed serve event: {line!r}") from exc
+                kind = event.get("event")
+                if kind == "progress":
+                    emit(event.get("line", ""))
+                elif kind == "error":
+                    raise ServeError(
+                        f"serve daemon failed: {event.get('message')}"
+                    )
+                elif kind == "done":
+                    results = event["results"]
+                    if len(results) != len(cells):
+                        raise ServeError(
+                            f"daemon answered {len(results)} of "
+                            f"{len(cells)} cells"
+                        )
+                    return [result_from_dict(data) for data in results]
+            raise ServeError("serve stream ended without a done event")
+        finally:
+            conn.close()
+
+
+__all__ = ["ServeClient", "ServeError", "CONTROL_TIMEOUT_S"]

@@ -1,0 +1,67 @@
+"""Wire format shared by the serve daemon and its client.
+
+Requests and responses are plain JSON over localhost HTTP; the
+``/cells`` response is newline-delimited JSON (one event object per
+line) so progress streams while cells simulate:
+
+``{"event": "progress", "line": "..."}``
+    a human-readable runner progress line, forwarded live;
+``{"event": "error", "index": N, "message": "..."}``
+    cell N failed on the daemon (the client raises :class:`CellError`);
+``{"event": "done", "results": [...]}``
+    terminal event: one serialized result per requested cell, in order.
+
+Only registry-name workloads cross the wire (a name plus a fully
+serialized :class:`SystemConfig` reconstructs the cell exactly);
+ad-hoc :class:`Workload` instances stay on the client and run locally.
+"""
+
+from __future__ import annotations
+
+from repro.runner.cells import Cell
+from repro.system.serialize import config_from_dict, config_to_dict
+
+
+def cell_to_payload(cell: Cell) -> dict:
+    """Serialize a registry-name cell for the wire."""
+    if not isinstance(cell.workload, str):
+        raise ValueError(
+            f"only registry-name workloads can be served, got "
+            f"{type(cell.workload).__name__}"
+        )
+    return {
+        "workload": cell.workload,
+        "config": config_to_dict(cell.config),
+        "scale": cell.scale,
+        "verify": cell.verify,
+        "seed": cell.seed,
+        "label": cell.display,
+    }
+
+
+def payload_to_cell(payload: dict) -> Cell:
+    """Rebuild the exact cell a payload describes (validates the config)."""
+    return Cell(
+        workload=payload["workload"],
+        config=config_from_dict(payload["config"]),
+        scale=payload.get("scale", 1.0),
+        verify=bool(payload.get("verify", False)),
+        seed=payload.get("seed", 0),
+        label=payload.get("label", ""),
+    )
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``host:port`` (with optional ``http://`` prefix) -> (host, port)."""
+    address = address.strip()
+    for prefix in ("http://", "https://"):
+        if address.startswith(prefix):
+            address = address[len(prefix):]
+    address = address.rstrip("/")
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"serve address must be host:port, got {address!r}")
+    return host, int(port)
+
+
+__all__ = ["cell_to_payload", "payload_to_cell", "parse_address"]

@@ -1,0 +1,237 @@
+"""The ``repro serve`` daemon: an always-on experiment-cell server.
+
+One process owns the results store and a persistent worker pool; clients
+POST batches of cells and read a streamed response.  Per cell:
+
+1. **warm** — the store answers without simulating (sub-millisecond);
+2. **in-flight dedup** — a cell identical to one already simulating (for
+   *any* client) joins that simulation instead of starting its own: one
+   run, N waiters, one store insert;
+3. **cold** — the cell is sharded to the persistent
+   :class:`ProcessPoolExecutor` and its result inserted into the store.
+
+Because workers rebuild systems from serialized configs exactly like the
+local runner does, a served result is bit-identical to a serial
+in-process run.  The daemon binds localhost only; it is a trusted
+single-machine service, not an internet-facing one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.runner.cache import cell_key
+from repro.runner.executor import _run_payload, effective_jobs
+from repro.serve.protocol import payload_to_cell
+from repro.system.serialize import result_from_dict, result_to_dict
+
+
+class ServeStats:
+    """Monotonic counters describing daemon activity (thread-safe)."""
+
+    FIELDS = ("requests", "cells", "store_hits", "simulated",
+              "inflight_joined", "errors")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self.FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self.FIELDS}
+
+
+class ServeDaemon:
+    """HTTP front-end + worker pool + in-flight dedup table.
+
+    ``port=0`` binds an ephemeral port (see :attr:`address` after
+    construction) — used by tests and by ``repro serve`` with no
+    explicit port.
+    """
+
+    def __init__(self, store, host: str = "127.0.0.1", port: int = 0,
+                 jobs: int | None = None,
+                 timeout_s: float | None = None) -> None:
+        self.store = store
+        self.jobs = effective_jobs(jobs)
+        self.timeout_s = timeout_s
+        self.stats = ServeStats()
+        self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        self._inflight: dict[str, Future] = {}
+        self._lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+
+        daemon = self
+
+        class Handler(_ServeHandler):
+            pass
+
+        Handler.daemon = daemon
+        self.httpd = ThreadingHTTPServer((host, port), Handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"{host}:{port}"
+
+    # -- lifecycle --------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def start_background(self) -> "ServeDaemon":
+        """Run the accept loop on a daemon thread (tests, embedding)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    # -- cell resolution --------------------------------------------------
+
+    def _claim(self, key: str, payload: dict) -> tuple[Future, bool]:
+        """The future computing ``key`` — joined if one is already in
+        flight, freshly submitted to the pool otherwise."""
+        with self._lock:
+            future = self._inflight.get(key)
+            if future is not None:
+                return future, False
+            future = self._pool.submit(_run_payload, payload)
+            self._inflight[key] = future
+            return future, True
+
+    def resolve_batch(self, payloads: list[dict],
+                      timeout_s: float | None, emit) -> list[dict]:
+        """Resolve a batch in request order, streaming progress via
+        ``emit``; returns one serialized result dict per payload."""
+        self.stats.bump("cells", len(payloads))
+        results: list[dict | None] = [None] * len(payloads)
+        claims: list[tuple[int, str, Future, bool]] = []
+        total = len(payloads)
+        for index, payload in enumerate(payloads):
+            cell = payload_to_cell(payload)
+            key = cell_key(cell)
+            hit = self.store.get(key)
+            if hit is not None:
+                self.stats.bump("store_hits")
+                results[index] = result_to_dict(hit)
+                emit(f"[serve] {index + 1}/{total} {cell.display}: store hit")
+                continue
+            worker_payload = dict(payload)
+            worker_payload["timeout_s"] = (
+                timeout_s if timeout_s is not None else self.timeout_s
+            )
+            future, created = self._claim(key, worker_payload)
+            claims.append((index, key, future, created))
+            if created:
+                emit(f"[serve] {index + 1}/{total} {cell.display}: "
+                     f"sharded to worker pool")
+            else:
+                self.stats.bump("inflight_joined")
+                emit(f"[serve] {index + 1}/{total} {cell.display}: "
+                     f"joined in-flight simulation")
+        for index, key, future, created in claims:
+            try:
+                data = future.result()
+            finally:
+                if created:
+                    # insert before unlinking so late arrivals always find
+                    # the result (store hit or still-registered future)
+                    try:
+                        if not future.exception():
+                            self.store.put(
+                                key, payload_to_cell(payloads[index]),
+                                result_from_dict(future.result()),
+                            )
+                            self.stats.bump("simulated")
+                    finally:
+                        with self._lock:
+                            self._inflight.pop(key, None)
+            results[index] = data
+            emit(f"[serve] {payloads[index].get('label', key[:12])}: done")
+        return results  # type: ignore[return-value]
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Routes: GET /health, GET /stats, POST /cells (ndjson stream)."""
+
+    daemon: ServeDaemon  # injected per-instance class in ServeDaemon
+    protocol_version = "HTTP/1.0"  # close-delimited bodies stream cleanly
+
+    def log_message(self, *_args) -> None:  # silence per-request stderr noise
+        pass
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path == "/health":
+            self._send_json({
+                "ok": True,
+                "store": str(self.daemon.store.path),
+                "jobs": self.daemon.jobs,
+            })
+        elif self.path == "/stats":
+            self._send_json({
+                "serve": self.daemon.stats.snapshot(),
+                "store": self.daemon.store.stats(),
+            })
+        else:
+            self._send_json({"error": f"unknown path {self.path}"}, 404)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/cells":
+            self._send_json({"error": f"unknown path {self.path}"}, 404)
+            return
+        self.daemon.stats.bump("requests")
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            request = json.loads(self.rfile.read(length))
+            payloads = request["cells"]
+        except (ValueError, KeyError, TypeError) as exc:
+            self._send_json({"error": f"bad request: {exc}"}, 400)
+            return
+
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+
+        def emit_event(event: dict) -> None:
+            try:
+                self.wfile.write(json.dumps(event).encode() + b"\n")
+                self.wfile.flush()
+            except OSError:
+                pass  # client went away; keep simulating for other waiters
+
+        try:
+            results = self.daemon.resolve_batch(
+                payloads,
+                request.get("timeout_s"),
+                lambda line: emit_event({"event": "progress", "line": line}),
+            )
+            emit_event({"event": "done", "results": results})
+        except Exception as exc:
+            self.daemon.stats.bump("errors")
+            emit_event({"event": "error", "message": f"{type(exc).__name__}: {exc}"})
+
+
+__all__ = ["ServeDaemon", "ServeStats"]

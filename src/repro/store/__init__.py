@@ -1,0 +1,34 @@
+"""Persistent SQLite results store and the cell-resolution entry point.
+
+Public surface:
+
+- :class:`ResultStore` — the SQLite-backed store every producer writes
+  and every consumer queries (``repro store`` administers it).
+- :func:`resolve_cells` — the single entry point that turns cells into
+  results via store lookup, in-flight dedup, the serve daemon, or local
+  execution.
+- :func:`cell_key` — the content-addressed key (re-exported from the
+  runner so store users need one import).
+"""
+
+from repro.store.resolve import SERVE_ENV, ResultBackend, resolve_cells
+from repro.store.store import (
+    DEFAULT_STORE_PATH,
+    KIND_CELL,
+    KIND_LITMUS,
+    ResultStore,
+    cell_key,
+    default_store_path,
+)
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "KIND_CELL",
+    "KIND_LITMUS",
+    "ResultBackend",
+    "ResultStore",
+    "SERVE_ENV",
+    "cell_key",
+    "default_store_path",
+    "resolve_cells",
+]

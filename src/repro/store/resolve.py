@@ -1,0 +1,148 @@
+"""``resolve_cells`` — the one entry point for turning cells into results.
+
+Every consumer (figures, sweeps, benchmarks, the litmus fan-out, the CLI)
+resolves cells here instead of carrying private caching logic.  For each
+cell, in order of preference:
+
+1. **store lookup** — any backend exposing ``get(key)`` / ``put(key,
+   cell, result)`` (:class:`repro.store.ResultStore` or the legacy
+   :class:`repro.runner.cache.ResultCache`) answers warm cells without
+   simulating;
+2. **in-flight dedup** — identical cells in one batch are simulated once;
+3. **serve daemon** — with ``serve=`` (or ``$REPRO_SERVE``) set,
+   registry-name cells are resolved by the always-on ``repro serve``
+   daemon, which shards them over its persistent worker pool and dedups
+   identical in-flight cells across *all* clients;
+4. **local execution** — the remainder runs on a local process pool
+   (``jobs>1``) or inline, exactly as before.
+
+All four paths are bit-identical: results round-trip exactly through
+:mod:`repro.system.serialize` and the simulator is deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Protocol, Sequence
+
+from repro.runner.cache import cell_key
+from repro.runner.cells import Cell
+from repro.system.apu import SimulationResult
+
+#: environment variable naming a running serve daemon (host:port)
+SERVE_ENV = "REPRO_SERVE"
+
+
+class ResultBackend(Protocol):
+    """What ``resolve_cells`` needs from a store: the shared surface of
+    :class:`ResultStore` and the legacy :class:`ResultCache`."""
+
+    def get(self, key: str) -> SimulationResult | None: ...
+    def put(self, key: str, cell: Cell, result: SimulationResult) -> None: ...
+
+
+def _serve_client(serve):
+    """Normalize the ``serve`` argument into a client, or None."""
+    if serve is None:
+        serve = os.environ.get(SERVE_ENV) or None
+    if serve is None or serve == "":
+        return None
+    if isinstance(serve, str):
+        from repro.serve.client import ServeClient
+
+        return ServeClient(serve)
+    return serve  # already a client
+
+
+def resolve_cells(
+    cells: Sequence[Cell],
+    store: ResultBackend | None = None,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    serve=None,
+) -> list[SimulationResult]:
+    """Resolve every cell, in input order, returning one result per cell.
+
+    ``store`` serves warm cells and receives every fresh result;
+    ``serve`` (an address string, a :class:`ServeClient`, or the
+    ``$REPRO_SERVE`` environment variable) routes simulation to a running
+    daemon; everything else falls back to the local pool.
+    """
+    from repro.runner import executor
+
+    if retries is None:
+        retries = executor.DEFAULT_RETRIES
+    emit = progress or (lambda line: None)
+    total = len(cells)
+    results: list[SimulationResult | None] = [None] * total
+    keys = [cell_key(cell) if store is not None else None for cell in cells]
+
+    pending: list[int] = []
+    seen_keys: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    for index, cell in enumerate(cells):
+        key = keys[index]
+        if store is not None:
+            cached = store.get(key)
+            if cached is not None:
+                results[index] = cached
+                emit(f"[runner] {index + 1}/{total} {cell.display}: store hit")
+                continue
+            if key in seen_keys:
+                duplicates.append((index, seen_keys[key]))
+                continue
+            seen_keys[key] = index
+        pending.append(index)
+
+    served: set[int] = set()
+    client = _serve_client(serve) if pending else None
+    if client is not None:
+        served = _resolve_served(cells, pending, results, client, emit,
+                                 timeout_s)
+        pending = [index for index in pending if index not in served]
+
+    if pending:
+        jobs = executor.effective_jobs(jobs)
+        if jobs <= 1 or len(pending) == 1:
+            executor.run_inline(cells, pending, results, emit)
+        else:
+            executor.run_pool(cells, pending, results, jobs, timeout_s,
+                              retries, emit)
+
+    if store is not None:
+        for index in sorted(set(pending) | served):
+            store.put(keys[index], cells[index], results[index])
+
+    for index, source in duplicates:
+        results[index] = results[source]
+    return results  # type: ignore[return-value]
+
+
+def _resolve_served(
+    cells: Sequence[Cell],
+    pending: Sequence[int],
+    results: list,
+    client,
+    emit: Callable[[str], None],
+    timeout_s: float | None,
+) -> set[int]:
+    """Resolve what the daemon can take (registry-name workloads); on any
+    transport failure fall back to local execution for everything."""
+    eligible = [i for i in pending if isinstance(cells[i].workload, str)]
+    if not eligible:
+        return set()
+    try:
+        answers = client.resolve(
+            [cells[i] for i in eligible], progress=emit, timeout_s=timeout_s
+        )
+    except (OSError, ValueError) as exc:
+        emit(f"[runner] serve daemon unavailable ({exc}); running locally")
+        return set()
+    for index, result in zip(eligible, answers):
+        results[index] = result
+    return set(eligible)
+
+
+__all__ = ["ResultBackend", "resolve_cells", "SERVE_ENV"]

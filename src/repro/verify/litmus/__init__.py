@@ -21,6 +21,9 @@ from repro.verify.litmus.harness import (
     POLICY_VARIANTS,
     DifferentialReport,
     LitmusOutcome,
+    litmus_key,
+    outcome_from_dict,
+    outcome_to_dict,
     run_differential,
     run_litmus,
     run_schedules,
@@ -59,8 +62,11 @@ __all__ = [
     "default_schedules",
     "dump_artifact",
     "get_litmus",
+    "litmus_key",
     "load_artifact",
     "minimize_failure",
+    "outcome_from_dict",
+    "outcome_to_dict",
     "replay_artifact",
     "run_differential",
     "run_litmus",

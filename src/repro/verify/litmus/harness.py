@@ -26,6 +26,8 @@ variants is a bug in one of them.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -106,6 +108,65 @@ def litmus_config(policy: DirectoryPolicy) -> SystemConfig:
     return SystemConfig.small(policy=policy)
 
 
+def litmus_key(test: LitmusTest, policy: DirectoryPolicy,
+               schedule: Schedule, max_events: int) -> str:
+    """Content-addressed key for one (litmus, policy, schedule) triple.
+
+    Mirrors :func:`repro.runner.cache.cell_key`: everything determining
+    the outcome — the serialized test, the full policy, the schedule
+    knobs, the event backstop, and the source digest — so code changes
+    invalidate stored outcomes the same way they invalidate cells.
+    """
+    from repro.runner.cache import CACHE_VERSION, source_digest
+    from repro.system.serialize import policy_to_dict
+
+    payload = {
+        "version": CACHE_VERSION,
+        "source": source_digest(),
+        "test": test.to_json(),
+        "policy": policy_to_dict(policy),
+        "schedule": schedule.to_json(),
+        "max_events": max_events,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def outcome_to_dict(outcome: LitmusOutcome) -> dict:
+    """JSON-able capture of a :class:`LitmusOutcome` (exact round-trip)."""
+    return {
+        "test": outcome.test,
+        "policy": outcome.policy,
+        "schedule": outcome.schedule.to_json(),
+        "failure_kind": outcome.failure_kind,
+        "messages": list(outcome.messages),
+        "regs": dict(outcome.regs),
+        "final_memory": (
+            dict(outcome.final_memory)
+            if outcome.final_memory is not None else None
+        ),
+        "ticks": outcome.ticks,
+        "trace_text": outcome.trace_text,
+    }
+
+
+def outcome_from_dict(data: dict) -> LitmusOutcome:
+    return LitmusOutcome(
+        test=data["test"],
+        policy=data["policy"],
+        schedule=Schedule.from_json(data["schedule"]),
+        failure_kind=data.get("failure_kind"),
+        messages=list(data.get("messages", [])),
+        regs=dict(data.get("regs", {})),
+        final_memory=(
+            dict(data["final_memory"])
+            if data.get("final_memory") is not None else None
+        ),
+        ticks=data.get("ticks"),
+        trace_text=data.get("trace_text"),
+    )
+
+
 def run_litmus(
     test: LitmusTest,
     policy: DirectoryPolicy | None = None,
@@ -115,15 +176,69 @@ def run_litmus(
     trace: bool = False,
     trace_capacity: int = 4_000,
     mutate_system: Callable[[object], None] | None = None,
+    store=None,
 ) -> LitmusOutcome:
     """Run one litmus under one policy and one schedule.
 
     ``mutate_system`` is a post-build hook (used by the fault-injection
     tests to overlay a broken transition table on a controller); it runs
     after the schedule's perturbations and before any traffic.
+
+    ``store`` (a :class:`repro.store.ResultStore`) memoizes outcomes the
+    same way the runner memoizes cells: a warm (test, policy, schedule)
+    triple is a store lookup, not a simulation.  Traced or
+    fault-injected runs bypass the store — their outcomes depend on
+    state outside the key.
     """
     policy = POLICY_VARIANTS[policy_name] if policy is None else policy
     schedule = schedule or Schedule(0)
+    memoizable = store is not None and mutate_system is None and not trace
+    if memoizable:
+        from repro.store import KIND_LITMUS
+
+        key = litmus_key(test, policy, schedule, max_events)
+        row = store.get_row(key, KIND_LITMUS)
+        if row is not None:
+            try:
+                stored = outcome_from_dict(row)
+            except (KeyError, ValueError, TypeError):
+                pass  # unreadable payload: fall through and re-run
+            else:
+                stored.policy = policy_name  # names may differ per sweep
+                return stored
+        outcome = _run_litmus_live(
+            test, policy, schedule, policy_name, max_events,
+            trace, trace_capacity, mutate_system,
+        )
+        from repro.system.serialize import policy_to_dict
+
+        store.put_row(
+            key, KIND_LITMUS,
+            workload=test.name,
+            config={"policy": policy_to_dict(policy),
+                    "schedule": schedule.to_json(),
+                    "max_events": max_events},
+            result=outcome_to_dict(outcome),
+            verify=True,
+            seed=schedule.seed,
+        )
+        return outcome
+    return _run_litmus_live(
+        test, policy, schedule, policy_name, max_events,
+        trace, trace_capacity, mutate_system,
+    )
+
+
+def _run_litmus_live(
+    test: LitmusTest,
+    policy: DirectoryPolicy,
+    schedule: Schedule,
+    policy_name: str,
+    max_events: int,
+    trace: bool,
+    trace_capacity: int,
+    mutate_system: Callable[[object], None] | None,
+) -> LitmusOutcome:
     system = build_system(litmus_config(policy))
     schedule.apply(system)
     if mutate_system is not None:

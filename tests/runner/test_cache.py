@@ -99,6 +99,28 @@ class TestResultCache:
         cache._path(key).write_text("{not json")
         assert cache.get(key) is None
 
+    def test_truncated_entry_evicted_not_raised(self, cache):
+        """A torn write (e.g. a crash mid-``put`` before the atomic rename
+        existed) must read as a miss, be evicted so it cannot shadow a
+        future good write, and be rewritable."""
+        cell = small_cell()
+        key = cell_key(cell)
+        result = run_cell_inline(cell)
+        cache.put(key, cell, result)
+        path = cache._path(key)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        assert cache.get(key) is None
+        assert not path.exists()  # evicted
+        cache.put(key, cell, result)
+        assert cache.get(key) == result
+
+    def test_put_leaves_no_temp_droppings(self, cache):
+        cell = small_cell()
+        cache.put(cell_key(cell), cell, run_cell_inline(cell))
+        leftovers = list(cache.root.rglob("*.tmp"))
+        assert leftovers == []
+
     def test_code_change_invalidates(self, cache, monkeypatch):
         cell = small_cell()
         cache.put(cell_key(cell), cell, run_cell_inline(cell))

@@ -71,6 +71,23 @@ class SleepyWorkload(Workload):
         return WorkloadBuild(cpu_programs=[])  # pragma: no cover
 
 
+class TimeoutOnceWorkload(Workload):
+    """Trips the per-cell timeout on the first attempt, succeeds on retry
+    (marker file survives the process boundary)."""
+
+    name = "timeout_once"
+
+    def __init__(self, marker_path: str) -> None:
+        self.marker_path = marker_path
+
+    def build(self, ctx):
+        if not os.path.exists(self.marker_path):
+            with open(self.marker_path, "w") as handle:
+                handle.write("timed out once")
+            time.sleep(10)  # SIGALRM interrupts this
+        return MigratoryCounter(4).build(ctx)
+
+
 class UnpicklableWorkload(Workload):
     """Cannot cross the process boundary (lambda attribute)."""
 
@@ -120,7 +137,8 @@ class TestCachedExecution:
             raise AssertionError("warm run simulated a cell")
 
         monkeypatch.setattr("repro.runner.executor.run_cell_inline", boom)
-        monkeypatch.setattr("repro.runner.executor._run_pool", boom)
+        monkeypatch.setattr("repro.runner.executor.run_inline", boom)
+        monkeypatch.setattr("repro.runner.executor.run_pool", boom)
         warm_cache = ResultCache(tmp_path / "cache")
         warm = run_cells(cells_for(["bs", "tq"]), jobs=2, cache=warm_cache)
         assert warm_cache.hits == 2 and warm_cache.misses == 0
@@ -170,7 +188,30 @@ class TestFailureHandling:
         with pytest.raises(CellError, match="timed out"):
             run_cells([cell, *cells_for(["bs"])], jobs=2, timeout_s=1)
 
-    def test_unpicklable_workload_falls_back_inline(self):
+    @pytest.mark.skipif(not hasattr(__import__("signal"), "SIGALRM"),
+                        reason="needs SIGALRM")
+    def test_timeout_then_success_reported_once(self, tmp_path):
+        """A cell that times out and then succeeds on retry contributes
+        exactly one done line, and progress totals never inflate with the
+        re-attempt."""
+        marker = tmp_path / "timeout.marker"
+        cell = Cell(
+            workload=TimeoutOnceWorkload(str(marker)),
+            config=SystemConfig.small(policy=PRESETS["baseline"]),
+            label="timeout_once",
+        )
+        lines: list[str] = []
+        results = run_cells(
+            [cell, *cells_for(["bs"])], jobs=2, timeout_s=1,
+            progress=lines.append,
+        )
+        assert marker.exists()
+        assert results[0].ok and results[1].ok
+        retries = [line for line in lines if "retry" in line]
+        assert len(retries) == 1 and "timed out" in retries[0]
+        done = [line for line in lines if "simulated on pool" in line]
+        assert len(done) == 2  # each unique cell exactly once
+        assert sorted(line.split()[1] for line in done) == ["1/2", "2/2"]
         cell = Cell(
             workload=UnpicklableWorkload(),
             config=SystemConfig.small(policy=PRESETS["baseline"]),

@@ -1,0 +1,210 @@
+"""Tests for the ``repro serve`` daemon: protocol round-trips, the HTTP
+endpoints, end-to-end bit-identity, warm store hits, and the dedup
+acceptance criterion — N concurrent identical cell requests collapse to
+one simulation, one store insert, and N identical responses."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.coherence.policies import PRESETS
+from repro.runner import Cell, cell_key, run_cell_inline
+from repro.serve import (
+    ServeClient,
+    ServeDaemon,
+    cell_to_payload,
+    parse_address,
+    payload_to_cell,
+)
+from repro.serve.client import ServeError
+from repro.store import ResultStore
+from repro.system.config import SystemConfig
+from repro.system.serialize import result_to_dict
+from repro.workloads.micro import MigratoryCounter
+
+
+def small_cell(**overrides) -> Cell:
+    defaults = dict(
+        workload="bs",
+        config=SystemConfig.small(policy=PRESETS["baseline"]),
+        scale=0.25,
+    )
+    defaults.update(overrides)
+    return Cell(**defaults)
+
+
+@pytest.fixture
+def daemon(tmp_path):
+    store = ResultStore(tmp_path / "serve.sqlite")
+    daemon = ServeDaemon(store, jobs=2).start_background()
+    yield daemon
+    daemon.shutdown()
+    store.close()
+
+
+class TestProtocol:
+    def test_cell_payload_round_trip(self):
+        cell = small_cell(seed=3, verify=True, label="bs/baseline")
+        rebuilt = payload_to_cell(cell_to_payload(cell))
+        assert cell_key(rebuilt) == cell_key(cell)
+        assert rebuilt.display == cell.display
+
+    def test_adhoc_workloads_stay_local(self):
+        cell = small_cell(workload=MigratoryCounter(4))
+        with pytest.raises(ValueError, match="registry-name"):
+            cell_to_payload(cell)
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:80") == ("127.0.0.1", 80)
+        assert parse_address("http://localhost:7341/") == ("localhost", 7341)
+        for bad in ("no-port", ":80", "host:"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestEndpoints:
+    def test_health_and_stats(self, daemon):
+        client = ServeClient(daemon.address)
+        assert client.health()["ok"] is True
+        stats = client.stats()
+        assert stats["serve"]["requests"] == 0
+        assert stats["store"]["rows"] == 0
+
+    def test_unknown_path_is_404(self, daemon):
+        with pytest.raises(ServeError, match="404"):
+            ServeClient(daemon.address)._json_get("/nope")
+
+    def test_malformed_request_is_400(self, daemon):
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection(*parse_address(daemon.address))
+        conn.request("POST", "/cells", body=b"{not json")
+        response = conn.getresponse()
+        assert response.status == 400
+        assert "bad request" in json.loads(response.read())["error"]
+        conn.close()
+
+
+class TestEndToEnd:
+    def test_served_results_bit_identical_to_inline(self, daemon):
+        cells = [small_cell(), small_cell(workload="tq")]
+        reference = [run_cell_inline(cell) for cell in cells]
+        lines: list[str] = []
+        served = ServeClient(daemon.address).resolve(cells,
+                                                     progress=lines.append)
+        assert served == reference
+        assert daemon.stats.simulated == 2
+        assert any("sharded to worker pool" in line for line in lines)
+
+    def test_warm_request_is_store_hit(self, daemon):
+        cells = [small_cell()]
+        client = ServeClient(daemon.address)
+        cold = client.resolve(cells)
+        lines: list[str] = []
+        warm = client.resolve(cells, progress=lines.append)
+        assert warm == cold
+        assert daemon.stats.store_hits == 1
+        assert daemon.store.puts == 1  # the cold insert, nothing more
+        assert any("store hit" in line for line in lines)
+
+    def test_worker_crash_surfaces_as_serve_error(self, daemon):
+        payload = cell_to_payload(small_cell())
+        payload["workload"] = "no-such-workload"
+        import http.client
+        import json
+
+        conn = http.client.HTTPConnection(*parse_address(daemon.address))
+        body = json.dumps({"cells": [payload]}).encode()
+        conn.request("POST", "/cells", body=body)
+        response = conn.getresponse()
+        events = [json.loads(line) for line in response if line.strip()]
+        conn.close()
+        assert events[-1]["event"] == "error"
+        assert daemon.stats.errors == 1
+
+
+class _ManualPool:
+    """Pool stub whose futures resolve only when the test says so —
+    makes the in-flight window deterministic for the dedup test."""
+
+    def __init__(self) -> None:
+        self.submissions: list[tuple[Future, dict]] = []
+        self._lock = threading.Lock()
+
+    def submit(self, _fn, payload) -> Future:
+        future: Future = Future()
+        with self._lock:
+            self.submissions.append((future, payload))
+        return future
+
+    def shutdown(self, **_kwargs) -> None:
+        pass
+
+
+class TestInflightDedup:
+    def test_n_identical_requests_one_simulation(self, daemon):
+        """Acceptance: N concurrent identical cell requests are answered
+        by ONE simulation and ONE store insert, with N identical
+        responses."""
+        pool = _ManualPool()
+        daemon._pool = pool
+        waiters = 4
+        cell = small_cell()
+        reference = run_cell_inline(cell)
+
+        answers: list = [None] * waiters
+        def request(slot: int) -> None:
+            client = ServeClient(daemon.address)
+            answers[slot] = client.resolve([cell])[0]
+
+        threads = [threading.Thread(target=request, args=(slot,))
+                   for slot in range(waiters)]
+        for thread in threads:
+            thread.start()
+
+        # Wait until every request has either claimed or joined the one
+        # in-flight simulation, then let it finish.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if (len(pool.submissions) == 1
+                    and daemon.stats.inflight_joined == waiters - 1):
+                break
+            time.sleep(0.01)
+        assert len(pool.submissions) == 1, "expected exactly one submission"
+        assert daemon.stats.inflight_joined == waiters - 1
+        pool.submissions[0][0].set_result(result_to_dict(reference))
+
+        for thread in threads:
+            thread.join(timeout=30)
+        assert all(answer == reference for answer in answers)
+        assert daemon.stats.simulated == 1
+        assert daemon.store.puts == 1
+        assert len(daemon.store) == 1
+        assert daemon._inflight == {}  # the claim table drained
+
+    def test_distinct_cells_do_not_dedup(self, daemon):
+        pool = _ManualPool()
+        daemon._pool = pool
+        cells = [small_cell(), small_cell(seed=7)]
+        references = [run_cell_inline(cell) for cell in cells]
+
+        done: list = [None]
+        def request() -> None:
+            done[0] = ServeClient(daemon.address).resolve(cells)
+
+        thread = threading.Thread(target=request)
+        thread.start()
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline and len(pool.submissions) < 2:
+            time.sleep(0.01)
+        assert len(pool.submissions) == 2
+        for (future, _payload), reference in zip(pool.submissions, references):
+            future.set_result(result_to_dict(reference))
+        thread.join(timeout=30)
+        assert done[0] == references
+        assert daemon.stats.inflight_joined == 0

@@ -1,0 +1,124 @@
+"""Tests for ``resolve_cells``: store-backed warm resolution, in-batch
+dedup, daemon fallback, and the acceptance criterion — a warm re-query of
+the full figure pipeline performs zero simulations and is bit-identical
+to a cold serial run."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    ExperimentMatrix,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+from repro.coherence.policies import PRESETS
+from repro.runner import Cell
+from repro.store import ResultStore, resolve_cells
+from repro.system.config import SystemConfig
+
+
+def cells_for(names, policy="baseline", scale=0.25):
+    return [
+        Cell(
+            workload=name,
+            config=SystemConfig.small(policy=PRESETS[policy]),
+            scale=scale,
+            label=f"{name}/{policy}",
+        )
+        for name in names
+    ]
+
+
+class TestStoreResolution:
+    def test_duplicates_simulated_once(self, tmp_path):
+        store = ResultStore(tmp_path / "s.sqlite")
+        batch = cells_for(["bs", "bs", "bs"])
+        results = resolve_cells(batch, store=store, jobs=1)
+        assert store.puts == 1 and len(store) == 1
+        assert results[0] == results[1] == results[2]
+
+    def test_store_and_cacheless_runs_identical(self, tmp_path):
+        batch = cells_for(["bs", "tq"])
+        plain = resolve_cells(batch, jobs=1)
+        stored = resolve_cells(cells_for(["bs", "tq"]),
+                               store=ResultStore(tmp_path / "s.sqlite"),
+                               jobs=2)
+        assert plain == stored
+
+    def test_warm_rerun_zero_simulations(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "s.sqlite")
+        cold = resolve_cells(cells_for(["bs", "tq"]), store=store, jobs=2)
+        assert store.puts == 2
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm run simulated a cell")
+
+        monkeypatch.setattr("repro.runner.executor.run_cell_inline", boom)
+        monkeypatch.setattr("repro.runner.executor.run_inline", boom)
+        monkeypatch.setattr("repro.runner.executor.run_pool", boom)
+        warm_store = ResultStore(tmp_path / "s.sqlite")
+        warm = resolve_cells(cells_for(["bs", "tq"]), store=warm_store,
+                             jobs=2)
+        assert warm_store.hits == 2 and warm_store.misses == 0
+        assert warm == cold
+
+    def test_unreachable_daemon_falls_back_locally(self, tmp_path):
+        lines: list[str] = []
+        results = resolve_cells(
+            cells_for(["bs"]),
+            store=ResultStore(tmp_path / "s.sqlite"),
+            jobs=1,
+            serve="127.0.0.1:9",  # discard port: nothing listens
+            progress=lines.append,
+        )
+        assert results[0].ok
+        assert any("serve daemon unavailable" in line for line in lines)
+
+    def test_serve_env_is_picked_up(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE", "127.0.0.1:9")
+        lines: list[str] = []
+        results = resolve_cells(cells_for(["bs"]), jobs=1,
+                                store=ResultStore(tmp_path / "s.sqlite"),
+                                progress=lines.append)
+        assert results[0].ok
+        assert any("serve daemon unavailable" in line for line in lines)
+
+
+class TestFigurePipelineWarmRequery:
+    """Acceptance: the full figure pipeline, warm through the store, is
+    zero-simulation and bit-identical to a cold serial (jobs=1) run."""
+
+    FIGURES = (run_figure4, run_figure5, run_figure6, run_figure7)
+
+    def _pipeline(self, matrix):
+        return [regenerate(matrix).series for regenerate in self.FIGURES]
+
+    def test_full_pipeline_warm_is_bit_identical(self, tmp_path, monkeypatch):
+        serial = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=1
+        )
+        reference = self._pipeline(serial)
+
+        store = ResultStore(tmp_path / "figures.sqlite")
+        cold = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=2,
+            store=store,
+        )
+        assert self._pipeline(cold) == reference
+
+        def boom(*_args, **_kwargs):
+            raise AssertionError("warm figure pipeline simulated a cell")
+
+        monkeypatch.setattr("repro.runner.executor.run_cell_inline", boom)
+        monkeypatch.setattr("repro.runner.executor.run_inline", boom)
+        monkeypatch.setattr("repro.runner.executor.run_pool", boom)
+        warm_store = ResultStore(tmp_path / "figures.sqlite")
+        warm = ExperimentMatrix(
+            config_factory=SystemConfig.small, scale=0.25, jobs=2,
+            store=warm_store,
+        )
+        assert self._pipeline(warm) == reference
+        assert warm_store.misses == 0 and warm_store.hits > 0

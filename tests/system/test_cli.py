@@ -154,3 +154,83 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert "Figure 6" in out
         assert not (tmp_path / "cache").exists()
+
+    def test_bench_on_store_cold_then_warm(self, tmp_path, capsys):
+        args = ["bench", "--figure", "6", "--scale", "0.25", "--jobs", "2",
+                "--store-path", str(tmp_path / "bench.sqlite")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert "0 hit(s)" in out
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "Figure 6" in warm
+        assert "0 miss(es)" in warm
+
+
+class TestStoreCommand:
+    def _fill(self, path, capsys):
+        assert main(["bench", "--figure", "6", "--scale", "0.25",
+                     "--jobs", "1", "--store-path", path]) == 0
+        capsys.readouterr()
+
+    def test_stats(self, tmp_path, capsys):
+        path = str(tmp_path / "s.sqlite")
+        self._fill(path, capsys)
+        assert main(["store", "stats", "--path", path]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out and "cell" in out
+
+    def test_gc_and_clear(self, tmp_path, capsys):
+        path = str(tmp_path / "s.sqlite")
+        self._fill(path, capsys)
+        assert main(["store", "gc", "--path", path]) == 0
+        assert "reclaimed 0 row(s)" in capsys.readouterr().out
+        assert main(["store", "clear", "--path", path]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "s.sqlite")
+        snapshot = str(tmp_path / "snap.jsonl")
+        self._fill(path, capsys)
+        assert main(["store", "export", snapshot, "--path", path]) == 0
+        assert "exported" in capsys.readouterr().out
+        fresh = str(tmp_path / "fresh.sqlite")
+        assert main(["store", "import", snapshot, "--path", fresh]) == 0
+        assert "imported" in capsys.readouterr().out
+        # the imported store serves the same figure with zero misses
+        assert main(["bench", "--figure", "6", "--scale", "0.25",
+                     "--jobs", "1", "--store-path", fresh]) == 0
+        assert "0 miss(es)" in capsys.readouterr().out
+
+    def test_migrate_legacy_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "legacy")
+        assert main(["bench", "--figure", "6", "--scale", "0.25",
+                     "--jobs", "1", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        path = str(tmp_path / "s.sqlite")
+        assert main(["store", "migrate", cache_dir, "--path", path]) == 0
+        assert "migrated" in capsys.readouterr().out
+        assert main(["bench", "--figure", "6", "--scale", "0.25",
+                     "--jobs", "1", "--store-path", path]) == 0
+        assert "0 miss(es)" in capsys.readouterr().out
+
+    def test_export_without_file_rejected(self, tmp_path, capsys):
+        assert main(["store", "export",
+                     "--path", str(tmp_path / "s.sqlite")]) == 2
+        assert "needs a file" in capsys.readouterr().err
+
+
+class TestLitmusStoreOption:
+    def test_litmus_store_memoizes(self, tmp_path, capsys):
+        path = str(tmp_path / "litmus.sqlite")
+        args = ["litmus", "mp", "--schedules", "1",
+                "--policies", "baseline", "--store", path]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 warm hit(s)" in out and "1 new row(s)" in out
+
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert "1 warm hit(s)" in warm and "0 new row(s)" in warm
