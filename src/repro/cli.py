@@ -20,6 +20,9 @@ Subcommands:
 - ``litmus`` — run the litmus suite across schedules and policy variants
   (``--all``), minimize failures to replayable artifacts (``--minimize``),
   and replay dumped artifacts (``--replay``).
+- ``fuzz`` — coverage-guided litmus fuzzing: ``run`` a budgeted campaign,
+  ``coverage`` reports per-policy table coverage (with a CI baseline
+  gate), ``corpus`` lists/replays/re-minimizes the saved inputs.
 - ``list`` — list bundled workloads and policy presets.
 """
 
@@ -186,6 +189,61 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="memoize (test, policy, schedule) outcomes in "
                             "the results store (default path: "
                             ".repro_store.sqlite, or $REPRO_STORE_PATH)")
+
+    fuzz_p = sub.add_parser(
+        "fuzz",
+        help="coverage-guided litmus fuzzing: generate random litmus "
+             "programs, track protocol-table coverage, keep a minimized "
+             "corpus",
+    )
+    fuzz_sub = fuzz_p.add_subparsers(dest="fuzz_command", required=True)
+
+    frun_p = fuzz_sub.add_parser(
+        "run", help="run a budgeted coverage-guided campaign"
+    )
+    frun_p.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0)")
+    frun_p.add_argument("--budget", type=_positive_int, default=2000,
+                        help="(litmus, policy, schedule) runs to spend "
+                             "(default 2000)")
+    frun_p.add_argument("--policies", nargs="+", default=None, metavar="P",
+                        help="policy variants to sweep (default: "
+                             "baseline, owner, sharers)")
+    frun_p.add_argument("--corpus", default=".repro_fuzz", metavar="DIR",
+                        help="corpus directory (default .repro_fuzz)")
+    frun_p.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes (default: os.cpu_count())")
+    frun_p.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-run wall-clock timeout in seconds")
+    frun_p.add_argument("--min-runs", type=_positive_int, default=None,
+                        metavar="N", help="shrink budget per corpus entry")
+    frun_p.add_argument("--store", nargs="?", const="", default=None,
+                        metavar="DB",
+                        help="memoize runs in the results store (resume "
+                             "support; default path: .repro_store.sqlite, "
+                             "or $REPRO_STORE_PATH)")
+
+    fcov_p = fuzz_sub.add_parser(
+        "coverage", help="report per-policy table coverage from a corpus"
+    )
+    fcov_p.add_argument("--corpus", default=".repro_fuzz", metavar="DIR")
+    fcov_p.add_argument("--policy", default=None, metavar="P",
+                        help="also list the reachable-but-unhit rows of "
+                             "one policy")
+    fcov_p.add_argument("--check", default=None, metavar="BASELINE",
+                        help="fail (exit 1) if coverage regresses below "
+                             "the committed baseline JSON")
+    fcov_p.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the canonical report JSON")
+
+    fcorpus_p = fuzz_sub.add_parser(
+        "corpus", help="list, replay, or re-minimize corpus entries"
+    )
+    fcorpus_p.add_argument("action", choices=["list", "replay", "minimize"])
+    fcorpus_p.add_argument("digest", nargs="?", default=None,
+                           help="entry digest prefix (replay/minimize; "
+                                "default: every entry)")
+    fcorpus_p.add_argument("--corpus", default=".repro_fuzz", metavar="DIR")
 
     store_p = sub.add_parser(
         "store",
@@ -567,6 +625,118 @@ def _litmus(args) -> int:
     return 0 if not failed_reports else 1
 
 
+def _fuzz(args) -> int:
+    import os
+
+    from repro.runner.executor import default_progress
+    from repro.verify.fuzz.corpus import Corpus, minimize_entry
+    from repro.verify.fuzz.coverage import (
+        CoverageState,
+        check_baseline,
+        coverage_report,
+        report_json,
+        unhit_detail,
+    )
+
+    if args.fuzz_command == "run":
+        from repro.verify.fuzz.campaign import run_campaign
+        from repro.verify.litmus import POLICY_VARIANTS
+
+        if args.policies:
+            unknown = set(args.policies) - set(POLICY_VARIANTS)
+            if unknown:
+                print(f"unknown policy variants: {sorted(unknown)}",
+                      file=sys.stderr)
+                return 2
+        store = None
+        if args.store is not None:
+            from repro.store import ResultStore
+
+            store = ResultStore(args.store or None)
+        kwargs = {}
+        if args.min_runs is not None:
+            kwargs["minimize_runs"] = args.min_runs
+        result = run_campaign(
+            seed=args.seed,
+            budget=args.budget,
+            corpus_dir=args.corpus,
+            policies=args.policies,
+            store=store,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            progress=default_progress,
+            **kwargs,
+        )
+        print(result.describe())
+        if store is not None:
+            print(f"[fuzz] store: {store.hits} warm hit(s), "
+                  f"{store.puts} new row(s) at {store.path}")
+        return 1 if result.failures else 0
+
+    if args.fuzz_command == "coverage":
+        coverage_path = os.path.join(args.corpus, "coverage.json")
+        if not os.path.exists(coverage_path):
+            print(f"no coverage state at {coverage_path} "
+                  "(run `repro fuzz run` first)", file=sys.stderr)
+            return 2
+        state = CoverageState.load(coverage_path)
+        text, data = coverage_report(state)
+        print(text)
+        if args.policy:
+            print()
+            print(unhit_detail(data, args.policy))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                handle.write(report_json(data))
+        if args.check:
+            import json as json_module
+
+            with open(args.check) as handle:
+                baseline = json_module.load(handle)
+            problems = check_baseline(data, baseline)
+            if problems:
+                print("\ncoverage regressions against "
+                      f"{args.check}:", file=sys.stderr)
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                return 1
+            print(f"\ncoverage holds the {args.check} baseline")
+        return 0
+
+    corpus = Corpus(args.corpus)
+    if args.action == "list":
+        entries = corpus.entries()
+        for entry in entries:
+            print(entry.describe())
+        print(f"{len(entries)} entries, corpus digest "
+              f"{corpus.corpus_digest()}")
+        return 0
+
+    digests = (
+        [corpus.find(args.digest).digest()] if args.digest
+        else corpus.digests()
+    )
+    status = 0
+    for digest in digests:
+        entry = corpus.load(digest)
+        if args.action == "replay":
+            outcome = entry.replay()
+            hit = set(entry.new_coverage) <= set(outcome.coverage or ())
+            verdict = "rows reproduced" if hit else "ROWS NOT REPRODUCED"
+            print(f"{entry.describe()}  -> {('ok' if outcome.ok else outcome.failure_kind)}, {verdict}")
+            if not hit or not outcome.ok:
+                status = 1
+        else:  # minimize
+            shrunk = minimize_entry(entry)
+            if shrunk.digest() != digest:
+                corpus.remove(digest)
+                corpus.add(shrunk)
+                print(f"{digest[:12]} -> {shrunk.describe()}")
+            else:
+                print(f"{digest[:12]} already minimal")
+    return status
+
+
 def _store(args) -> int:
     from repro.store import ResultStore
 
@@ -663,6 +833,8 @@ def main(argv: list[str] | None = None) -> int:
         return _lint_protocol(args)
     if args.command == "litmus":
         return _litmus(args)
+    if args.command == "fuzz":
+        return _fuzz(args)
     if args.command == "store":
         return _store(args)
     if args.command == "serve":

@@ -84,6 +84,12 @@ class RequestPlan:
     #: (the baseline always does; the precise directory defers it in O
     #: state, expecting the owner's dirty data to make it unnecessary).
     read_data_now: bool = False
+    #: probe the requester too (normally excluded).  Needed when the
+    #: requester does not allocate the result — a TCC system-scope atomic
+    #: drops its own copy on issue, but a fill racing in behind the
+    #: request would otherwise survive as a stale copy the precise
+    #: directory, having dropped its tracking, can never invalidate.
+    probe_requester: bool = False
 
 
 #: request types whose response carries line data
@@ -154,6 +160,10 @@ class DirectoryController(Controller):
         self._admission: deque[Message] = deque()
         self._l2_names: list[str] | None = None
         self._tcc_names: list[str] | None = None
+
+    def fsm_tables(self):
+        """The declared tables this controller dispatches through."""
+        return (self.fsm_table,)
 
     # -- peers ----------------------------------------------------------------
 
@@ -249,7 +259,9 @@ class DirectoryController(Controller):
     def _handle_permission(self, txn: Transaction) -> None:
         plan = self.plan_request(txn)
         txn.needs_data = plan.needs_data
-        targets = [t for t in plan.probe_targets if t != txn.request.requester]
+        targets = list(plan.probe_targets) if plan.probe_requester else [
+            t for t in plan.probe_targets if t != txn.request.requester
+        ]
         if targets:
             if plan.probe_type is None:
                 raise ProtocolError(f"probe targets without a probe type for {txn!r}")

@@ -347,7 +347,7 @@ class ProtocolFSM:
         hooks = owner.fsm_hooks
         if hooks:
             for hook in hooks:
-                hook.on_transition(owner, addr, state, event, next_state)
+                hook.on_transition(owner, addr, state, event, next_state, table)
         return next_state
 
     def __repr__(self) -> str:
@@ -356,12 +356,19 @@ class ProtocolFSM:
 
 class TransitionHook:
     """Observer interface for protocol transitions (tracing, invariants,
-    counters).  Attach with ``controller.add_fsm_hook(hook)``."""
+    counters).  Attach with ``controller.add_fsm_hook(hook)``.
+
+    ``table`` is the :class:`TransitionTable` the transition fired through
+    — one controller may dispatch through several (a precise directory
+    runs both the Fig. 2 transaction table and the Table I entry table),
+    so hooks that aggregate per-table (coverage) get the identity for
+    free instead of guessing from state vocabulary.
+    """
 
     __slots__ = ()
 
     def on_transition(self, controller, addr: int, state, event: str,
-                      next_state) -> None:
+                      next_state, table=None) -> None:
         raise NotImplementedError
 
 
@@ -374,7 +381,8 @@ class RecordingHook(TransitionHook):
     def __init__(self) -> None:
         self.records: list[tuple] = []
 
-    def on_transition(self, controller, addr, state, event, next_state) -> None:
+    def on_transition(self, controller, addr, state, event, next_state,
+                      table=None) -> None:
         self.records.append((controller.name, addr, state, event, next_state))
 
     def sequence(self, addr: int | None = None) -> list[tuple]:
@@ -399,7 +407,46 @@ class TransitionStats(TransitionHook):
     def __init__(self, name: str = "fsm") -> None:
         self.stats = StatGroup(name)
 
-    def on_transition(self, controller, addr, state, event, next_state) -> None:
+    def on_transition(self, controller, addr, state, event, next_state,
+                      table=None) -> None:
         self.stats.inc(
             f"{controller.name}.{state_label(state)}.{event}"
         )
+
+
+class TransitionCoverage(TransitionHook):
+    """Set-valued sibling of :class:`TransitionStats`: which table *rows*
+    fired, not how often.
+
+    Every transition adds one ``(table_name, state, event)`` triple —
+    exactly the key the static lint enumerates rows by — so the coverage a
+    run achieved can be diffed directly against
+    :meth:`TransitionTable.lint`: a handled row that is reachable per lint
+    but absent from :attr:`seen` was never exercised.  This is the feedback
+    signal the litmus fuzzer (``repro fuzz``) steers by.
+    """
+
+    __slots__ = ("seen",)
+
+    def __init__(self) -> None:
+        self.seen: set[tuple[str, str, str]] = set()
+
+    def on_transition(self, controller, addr, state, event, next_state,
+                      table=None) -> None:
+        name = table.name if table is not None else type(controller).__name__
+        self.seen.add((name, state_label(state), event))
+
+    def attach(self, *controllers) -> "TransitionCoverage":
+        for controller in controllers:
+            controller.add_fsm_hook(self)
+        return self
+
+    def attach_system(self, system) -> "TransitionCoverage":
+        """Observe every table-driven controller (the passive LLC slices
+        have no transition table, hence no rows to cover)."""
+        return self.attach(*system.directories, *system.corepairs,
+                           *system.tccs)
+
+    def triples(self) -> list[tuple[str, str, str]]:
+        """The covered rows as a sorted, JSON-stable list."""
+        return sorted(self.seen)

@@ -104,6 +104,10 @@ class PreciseDirectory(DirectoryController):
             pointer_limit=policy.sharer_pointer_limit,
         )
 
+    def fsm_tables(self):
+        """Both declared tables: Figure-2 transactions and Table I entries."""
+        return (self.fsm_table, self.table1)
+
     # -- entry helpers --------------------------------------------------------
 
     def _new_entry(self) -> DirEntry:
@@ -275,6 +279,12 @@ class PreciseDirectory(DirectoryController):
                     f"write-permission request to read-only region: {req!r}"
                 )
             plan.probe_type = ProbeType.INVALIDATE
+            if mtype is MsgType.ATOMIC:
+                # The atomic commits here, not at the requester: a tracked
+                # requester copy (a fill that raced in behind the atomic)
+                # must be invalidated like any other holder's, or it
+                # outlives the dropped directory entry as stale data.
+                plan.probe_requester = True
             if state is DirState.O:
                 assert line is not None
                 plan.probe_targets = self._holder_targets(line, include_owner=True)

@@ -182,6 +182,10 @@ class CorePair(Controller):
         #: any traffic) to inject protocol faults for the litmus minimizer.
         self.moesi_table: TransitionTable = _COREPAIR_TABLE
 
+    def fsm_tables(self):
+        """The declared tables this controller dispatches through."""
+        return (self.moesi_table,)
+
     # -- protocol FSM ----------------------------------------------------------
 
     def _fire(self, line: int, event: str, prev, ctx=None):

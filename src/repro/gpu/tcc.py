@@ -141,6 +141,10 @@ class TccController(Controller):
         #: per-line VI FSMs; lines at rest in I carry no entry
         self._fsms: dict[int, ProtocolFSM] = {}
 
+    def fsm_tables(self):
+        """The declared tables this controller dispatches through."""
+        return (_TCC_TABLE,)
+
     # -- protocol FSM ----------------------------------------------------------
 
     def _fire(self, line: int, event: str, prev, ctx=None):

@@ -168,6 +168,68 @@ def run_inline(
         )
 
 
+def pool_map(
+    worker: Callable[[dict], dict],
+    payloads: dict,
+    labels: dict,
+    pending: Sequence[int],
+    results: list,
+    decode: Callable[[dict], object],
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    emit: Callable[[str], None],
+) -> None:
+    """Generic process-pool fan-out with retry on crash/timeout.
+
+    ``payloads``/``labels`` map each pending index to the worker payload
+    and its progress label; ``decode`` turns each worker answer back into
+    the caller's result type.  Progress accounting counts each *unique*
+    item exactly once: an item that times out or crashes and then
+    succeeds on retry contributes one ``done/total`` line, and ``total``
+    never inflates with re-attempts.
+    """
+    attempts = dict.fromkeys(pending, 0)
+    done = 0
+    total = len(pending)
+    queue = list(pending)
+    while queue:
+        # A fresh pool per round also recovers from BrokenProcessPool.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
+            futures = {pool.submit(worker, payloads[i]): i for i in queue}
+            queue = []
+            for future in as_completed(futures):
+                index = futures[future]
+                label = labels[index]
+                try:
+                    results[index] = decode(future.result())
+                except Exception as exc:  # timeout, crash, BrokenProcessPool
+                    attempts[index] += 1
+                    timed_out = isinstance(exc, CellTimeout)
+                    if attempts[index] > retries:
+                        if timed_out:
+                            raise CellError(
+                                f"cell {label} timed out after "
+                                f"{timeout_s}s ({attempts[index]} attempt(s))"
+                            ) from exc
+                        raise CellError(
+                            f"cell {label} failed after "
+                            f"{attempts[index]} attempt(s): {exc}"
+                        ) from exc
+                    reason = (
+                        "timed out" if timed_out
+                        else f"crashed ({type(exc).__name__})"
+                    )
+                    emit(
+                        f"[runner] {label}: {reason}, "
+                        f"retry {attempts[index]}/{retries}"
+                    )
+                    queue.append(index)
+                else:
+                    done += 1
+                    emit(f"[runner] {done}/{total} {label}: simulated on pool")
+
+
 def run_pool(
     cells: Sequence[Cell],
     pending: Sequence[int],
@@ -177,12 +239,7 @@ def run_pool(
     retries: int,
     emit: Callable[[str], None],
 ) -> None:
-    """Fan ``pending`` out over a process pool with retry on crash/timeout.
-
-    Progress accounting counts each *unique* cell exactly once: a cell
-    that times out or crashes and then succeeds on retry contributes one
-    ``done/total`` line, and ``total`` never inflates with re-attempts.
-    """
+    """Fan ``pending`` out over a process pool with retry on crash/timeout."""
     payloads = {index: _cell_payload(cells[index], timeout_s) for index in pending}
     # Unpicklable workload instances cannot cross the process boundary;
     # run them inline rather than poisoning the pool.
@@ -194,44 +251,114 @@ def run_pool(
             emit(f"[runner] {cells[index].display}: not picklable, running inline")
             results[index] = run_cell_inline(cells[index])
 
-    attempts = dict.fromkeys(queue, 0)
-    done = 0
-    total = len(queue)
-    while queue:
-        # A fresh pool per round also recovers from BrokenProcessPool.
-        with ProcessPoolExecutor(max_workers=min(jobs, len(queue))) as pool:
-            futures = {pool.submit(_run_payload, payloads[i]): i for i in queue}
-            queue = []
-            for future in as_completed(futures):
-                index = futures[future]
-                cell = cells[index]
-                try:
-                    results[index] = result_from_dict(future.result())
-                except Exception as exc:  # timeout, crash, BrokenProcessPool
-                    attempts[index] += 1
-                    timed_out = isinstance(exc, CellTimeout)
-                    if attempts[index] > retries:
-                        if timed_out:
-                            raise CellError(
-                                f"cell {cell.display} timed out after "
-                                f"{timeout_s}s ({attempts[index]} attempt(s))"
-                            ) from exc
-                        raise CellError(
-                            f"cell {cell.display} failed after "
-                            f"{attempts[index]} attempt(s): {exc}"
-                        ) from exc
-                    reason = (
-                        "timed out" if timed_out
-                        else f"crashed ({type(exc).__name__})"
-                    )
-                    emit(
-                        f"[runner] {cell.display}: {reason}, "
-                        f"retry {attempts[index]}/{retries}"
-                    )
-                    queue.append(index)
-                else:
-                    done += 1
-                    emit(f"[runner] {done}/{total} {cell.display}: simulated on pool")
+    labels = {index: cells[index].display for index in queue}
+    pool_map(_run_payload, payloads, labels, queue, results,
+             result_from_dict, jobs, timeout_s, retries, emit)
+
+
+# -- litmus fan-out -------------------------------------------------------------
+#
+# The litmus analogue of the cell worker: a (test, policy, schedule)
+# triple crosses the process boundary as JSON (the DSL is JSON-able by
+# design), the worker rebuilds everything from names, and the outcome
+# comes back as a plain dict.  Postconditions are code and cannot cross;
+# registry tests reattach theirs by name, anything else runs inline.
+
+
+def litmus_run_label(test, policy_name: str, schedule) -> str:
+    return f"{test.name}@{policy_name}@{schedule.label()}"
+
+
+def litmus_payload(test, policy_name: str, schedule, max_events: int,
+                   coverage: bool, timeout_s: float | None) -> dict | None:
+    """Serialize one litmus run for the pool, or None if it cannot cross
+    the process boundary (a non-registry postcondition closure)."""
+    registry_post = False
+    if test.postcondition is not None:
+        from repro.verify.litmus.registry import REGISTRY
+
+        registered = REGISTRY.get(test.name)
+        if registered is not None and registered.to_json() == test.to_json():
+            registry_post = True
+        else:
+            return None
+    return {
+        "test": test.to_json(),
+        "registry_postcondition": registry_post,
+        "policy": policy_name,
+        "schedule": schedule.to_json(),
+        "max_events": max_events,
+        "coverage": coverage,
+        "timeout_s": timeout_s,
+    }
+
+
+def _run_litmus_payload(payload: dict) -> dict:
+    """Worker entry point: rebuild the litmus run, execute, return a dict."""
+    timeout_s = payload.get("timeout_s")
+    use_alarm = timeout_s is not None and hasattr(signal, "SIGALRM")
+    if use_alarm:
+        signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.alarm(max(1, int(timeout_s)))
+    try:
+        from repro.verify.litmus.dsl import LitmusTest
+        from repro.verify.litmus.harness import outcome_to_dict, run_litmus
+        from repro.verify.litmus.schedule import Schedule
+
+        test = LitmusTest.from_json(payload["test"])
+        if payload.get("registry_postcondition"):
+            from repro.verify.litmus.registry import get_litmus
+
+            test = get_litmus(test.name)
+        outcome = run_litmus(
+            test,
+            policy_name=payload["policy"],
+            schedule=Schedule.from_json(payload["schedule"]),
+            max_events=payload["max_events"],
+            coverage=payload["coverage"],
+        )
+        return outcome_to_dict(outcome)
+    finally:
+        if use_alarm:
+            signal.alarm(0)
+
+
+def run_litmus_pool(
+    runs: Sequence[tuple],
+    pending: Sequence[int],
+    results: list,
+    jobs: int,
+    timeout_s: float | None,
+    retries: int,
+    emit: Callable[[str], None],
+    max_events: int,
+    coverage: bool,
+) -> None:
+    """Fan pending ``(test, policy_name, schedule)`` runs out over a pool."""
+    from repro.verify.litmus.harness import outcome_from_dict, run_litmus
+
+    payloads = {}
+    labels = {}
+    queue = []
+    for index in pending:
+        test, policy_name, schedule = runs[index]
+        label = litmus_run_label(test, policy_name, schedule)
+        payload = litmus_payload(test, policy_name, schedule, max_events,
+                                 coverage, timeout_s)
+        if payload is None:
+            emit(f"[runner] {label}: postcondition cannot cross the pool, "
+                 "running inline")
+            results[index] = run_litmus(
+                test, policy_name=policy_name, schedule=schedule,
+                max_events=max_events, coverage=coverage,
+            )
+            continue
+        payloads[index] = payload
+        labels[index] = label
+        queue.append(index)
+
+    pool_map(_run_litmus_payload, payloads, labels, queue, results,
+             outcome_from_dict, jobs, timeout_s, retries, emit)
 
 
 def default_progress(line: str) -> None:

@@ -71,7 +71,8 @@ class ProtocolTrace(TransitionHook):
 
     # -- recording ---------------------------------------------------------------
 
-    def on_transition(self, controller, addr, state, event, next_state) -> None:
+    def on_transition(self, controller, addr, state, event, next_state,
+                      table=None) -> None:
         self.record(
             controller.now, controller.name, event, addr,
             f"{state_label(state)} -> {state_label(next_state)}",

@@ -7,11 +7,18 @@ Public surface:
 - :func:`resolve_cells` — the single entry point that turns cells into
   results via store lookup, in-flight dedup, the serve daemon, or local
   execution.
+- :func:`resolve_litmus` — the same entry point for litmus runs (the
+  fuzz campaign's fan-out path).
 - :func:`cell_key` — the content-addressed key (re-exported from the
   runner so store users need one import).
 """
 
-from repro.store.resolve import SERVE_ENV, ResultBackend, resolve_cells
+from repro.store.resolve import (
+    SERVE_ENV,
+    ResultBackend,
+    resolve_cells,
+    resolve_litmus,
+)
 from repro.store.store import (
     DEFAULT_STORE_PATH,
     KIND_CELL,
@@ -31,4 +38,5 @@ __all__ = [
     "cell_key",
     "default_store_path",
     "resolve_cells",
+    "resolve_litmus",
 ]

@@ -120,6 +120,138 @@ def resolve_cells(
     return results  # type: ignore[return-value]
 
 
+def resolve_litmus(
+    runs: Sequence[tuple],
+    store=None,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    max_events: int | None = None,
+    coverage: bool = False,
+    mutate_system=None,
+) -> list:
+    """Resolve litmus runs the way :func:`resolve_cells` resolves cells.
+
+    ``runs`` is a sequence of ``(test, policy_name, schedule)`` triples
+    (policies by :data:`POLICY_VARIANTS` name, so they can cross the
+    process boundary).  Outcomes come back in input order: warm triples
+    are store lookups (:data:`KIND_LITMUS` rows keyed by
+    :func:`litmus_key`), identical in-batch triples simulate once, and
+    the rest fans out over ``jobs`` local workers.
+
+    ``mutate_system`` (fault injection) forces everything inline with the
+    store bypassed — mutation hooks are closures that neither cross the
+    process boundary nor belong in content-addressed rows.
+    """
+    import dataclasses
+
+    from repro.runner import executor
+    from repro.store import KIND_LITMUS
+    from repro.verify.litmus.harness import (
+        LITMUS_MAX_EVENTS,
+        POLICY_VARIANTS,
+        litmus_key,
+        outcome_from_dict,
+        outcome_to_dict,
+        run_litmus,
+    )
+
+    if max_events is None:
+        max_events = LITMUS_MAX_EVENTS
+    if retries is None:
+        retries = executor.DEFAULT_RETRIES
+    emit = progress or (lambda line: None)
+    total = len(runs)
+    results: list = [None] * total
+
+    if mutate_system is not None:
+        for index, (test, policy_name, schedule) in enumerate(runs):
+            results[index] = run_litmus(
+                test, policy_name=policy_name, schedule=schedule,
+                max_events=max_events, coverage=coverage,
+                mutate_system=mutate_system,
+            )
+            label = executor.litmus_run_label(test, policy_name, schedule)
+            emit(f"[runner] {index + 1}/{total} {label}: simulated inline "
+                 "(fault injection)")
+        return results
+
+    keys = [
+        litmus_key(test, POLICY_VARIANTS[policy_name], schedule,
+                   max_events, coverage)
+        for test, policy_name, schedule in runs
+    ]
+
+    pending: list[int] = []
+    seen_keys: dict[str, int] = {}
+    duplicates: list[tuple[int, int]] = []
+    for index, (test, policy_name, schedule) in enumerate(runs):
+        key = keys[index]
+        if store is not None:
+            row = store.get_row(key, KIND_LITMUS)
+            if row is not None:
+                try:
+                    stored = outcome_from_dict(row)
+                except (KeyError, ValueError, TypeError):
+                    pass  # unreadable payload: fall through and re-run
+                else:
+                    stored.policy = policy_name
+                    results[index] = stored
+                    label = executor.litmus_run_label(
+                        test, policy_name, schedule
+                    )
+                    emit(f"[runner] {index + 1}/{total} {label}: store hit")
+                    continue
+        if key in seen_keys:
+            duplicates.append((index, seen_keys[key]))
+            continue
+        seen_keys[key] = index
+        pending.append(index)
+
+    if pending:
+        jobs = executor.effective_jobs(jobs)
+        if jobs <= 1 or len(pending) == 1:
+            for position, index in enumerate(pending):
+                test, policy_name, schedule = runs[index]
+                results[index] = run_litmus(
+                    test, policy_name=policy_name, schedule=schedule,
+                    max_events=max_events, coverage=coverage,
+                )
+                label = executor.litmus_run_label(test, policy_name, schedule)
+                emit(f"[runner] {position + 1}/{len(pending)} {label}: "
+                     "simulated inline")
+        else:
+            executor.run_litmus_pool(
+                runs, pending, results, jobs, timeout_s, retries, emit,
+                max_events=max_events, coverage=coverage,
+            )
+
+    if store is not None:
+        from repro.system.serialize import policy_to_dict
+
+        for index in pending:
+            test, policy_name, schedule = runs[index]
+            store.put_row(
+                keys[index], KIND_LITMUS,
+                workload=test.name,
+                config={"policy": policy_to_dict(POLICY_VARIANTS[policy_name]),
+                        "schedule": schedule.to_json(),
+                        "max_events": max_events},
+                result=outcome_to_dict(results[index]),
+                verify=True,
+                seed=schedule.seed,
+            )
+
+    for index, source in duplicates:
+        # Same key, possibly a different policy *name* (two names can map
+        # to one policy dict): share the data, fix the label.
+        results[index] = dataclasses.replace(
+            results[source], policy=runs[index][1]
+        )
+    return results
+
+
 def _resolve_served(
     cells: Sequence[Cell],
     pending: Sequence[int],
@@ -145,4 +277,4 @@ def _resolve_served(
     return set(eligible)
 
 
-__all__ = ["ResultBackend", "resolve_cells", "SERVE_ENV"]
+__all__ = ["ResultBackend", "resolve_cells", "resolve_litmus", "SERVE_ENV"]

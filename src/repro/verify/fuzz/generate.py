@@ -1,0 +1,172 @@
+"""Deterministic litmus-program generation.
+
+``generate_case(seed, iteration)`` is a pure function: the pair seeds a
+private :class:`random.Random` (string seeding, which hashes through
+SHA-512 and is stable across processes and platforms), so the same seed
+and iteration always produce byte-identical tests and schedules — the
+property the corpus-digest regression tests pin.
+
+Generated programs are **verifier-only** (``postcondition=None``): random
+racing writes have schedule-dependent finals, so the exact-postcondition
+discipline of the hand-written suite cannot apply.  The invariant monitor
+and the value oracle stay attached and are the fuzzer's bug detectors.
+Spins are deliberately never emitted: a generated spin whose writer was
+never generated would drown the campaign in ``spin_timeout`` noise.
+
+Layout placement mirrors the hand-written suite's three interesting
+shapes: fresh contiguous lines, same-line words (false sharing), and
+``L2_CONFLICT_STRIDE``-apart lines (same L2 set, forcing evictions).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mem.address import WORDS_PER_LINE
+from repro.verify.litmus.dsl import DmaSpec, LitmusTest
+from repro.verify.litmus.registry import L2_CONFLICT_STRIDE
+from repro.verify.litmus.schedule import SCHEDULE_VARIANTS, Schedule
+
+#: atomic RMW kinds the generator draws from (CAS compares against the
+#: interpreter's default 0, which is still a legal, racy RMW)
+ATOMIC_OPS = ("add", "inc", "exch", "cas", "max", "min", "and", "or")
+
+#: generator bounds — small programs shrink fast and still reach the
+#: interesting protocol rows via placement + schedule perturbation
+MAX_LOCS = 5
+MAX_THREADS = 4          # SystemConfig.small core count
+MAX_WAVES = 2            # one workgroup per wave; small has 2 CUs
+MAX_OPS_PER_AGENT = 6
+MAX_DMA = 2
+MAX_VALUE = 255
+
+
+def _rng(seed: int, iteration: int) -> random.Random:
+    return random.Random(f"fuzz:{seed}:{iteration}")
+
+
+def _make_layout(rng: random.Random) -> dict[str, tuple[int, int]]:
+    """2..MAX_LOCS locations over fresh / same / conflict-stride lines."""
+    count = rng.randint(2, MAX_LOCS)
+    layout: dict[str, tuple[int, int]] = {}
+    used: set[tuple[int, int]] = set()
+    lines = [0]
+    for index in range(count):
+        loc = f"x{index}"
+        for _attempt in range(16):
+            shape = rng.random()
+            if index == 0 or shape < 0.4:
+                line = max(lines) + (0 if index == 0 else 1)
+            elif shape < 0.75:
+                line = rng.choice(lines)       # false sharing
+            else:
+                line = rng.choice(lines) + L2_CONFLICT_STRIDE  # same L2 set
+            word = rng.randrange(WORDS_PER_LINE)
+            if (line, word) not in used:
+                break
+        else:  # the line/word space is tiny only in pathological draws
+            line, word = max(lines) + 1, 0
+        used.add((line, word))
+        lines.append(line)
+        layout[loc] = (line, word)
+    return layout
+
+
+def _cpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
+    kind = rng.choices(
+        ("store", "load", "atomic", "think"), weights=(4, 3, 2, 1)
+    )[0]
+    if kind == "store":
+        return ("store", rng.choice(locs), rng.randint(1, MAX_VALUE))
+    if kind == "load":
+        return ("load", rng.choice(locs), f"r{index}")
+    if kind == "atomic":
+        return ("atomic", rng.choice(locs), rng.choice(ATOMIC_OPS),
+                rng.randint(1, 7), f"a{index}")
+    return ("think", rng.randint(1, 200))
+
+
+def _gpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
+    kind = rng.choices(
+        ("store", "load", "atomic", "vstore", "vload", "acq", "rel", "think"),
+        weights=(3, 3, 2, 2, 2, 1, 1, 1),
+    )[0]
+    if kind == "store":
+        return ("store", rng.choice(locs), rng.randint(1, MAX_VALUE))
+    if kind == "load":
+        return ("load", rng.choice(locs), f"r{index}")
+    if kind == "atomic":
+        return ("atomic", rng.choice(locs), rng.choice(ATOMIC_OPS),
+                rng.randint(1, 7), f"a{index}", rng.choice(("slc", "glc")))
+    if kind in ("vstore", "vload"):
+        width = rng.randint(1, min(3, len(locs)))
+        vlocs = rng.sample(locs, width)
+        if kind == "vstore":
+            return ("vstore", vlocs, rng.randint(1, MAX_VALUE))
+        return ("vload", vlocs, f"v{index}")
+    if kind == "acq":
+        return ("acq",)
+    if kind == "rel":
+        return ("rel",)
+    return ("think", rng.randint(1, 200))
+
+
+def _make_dma(rng: random.Random,
+              layout: dict[str, tuple[int, int]]) -> list[DmaSpec]:
+    """0..MAX_DMA transfers, bounded to stay inside the layout's lines
+    (a transfer past the last line would trample the code region)."""
+    num_lines = 1 + max(line for line, _word in layout.values())
+    specs = []
+    for _ in range(rng.randint(0, MAX_DMA)):
+        loc = rng.choice(sorted(layout))
+        room = num_lines - layout[loc][0]
+        specs.append(DmaSpec(
+            kind=rng.choice(("read", "write")),
+            loc=loc,
+            lines=rng.randint(1, max(1, room)),
+            value=rng.randint(0, MAX_VALUE),
+        ))
+    return specs
+
+
+def generate_schedule(rng: random.Random) -> Schedule:
+    """Canonical ~1/4 of the time, otherwise a random rotation variant
+    under a random schedule seed."""
+    if rng.random() < 0.25:
+        return Schedule(0)
+    variant = rng.choice(SCHEDULE_VARIANTS)
+    return variant.schedule(rng.randint(1, 10_000))
+
+
+def generate_case(seed: int, iteration: int) -> tuple[LitmusTest, Schedule]:
+    """One deterministic ``(litmus, schedule)`` pair for a campaign slot."""
+    rng = _rng(seed, iteration)
+    layout = _make_layout(rng)
+    locs = sorted(layout)
+
+    threads = [
+        [_cpu_op(rng, locs, op) for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
+        for _ in range(rng.randint(1, MAX_THREADS))
+    ]
+    gpu_waves = [
+        [_gpu_op(rng, locs, op) for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
+        for _ in range(rng.randint(0, MAX_WAVES))
+    ]
+    dma = _make_dma(rng, layout)
+    init = {
+        loc: rng.randint(0, MAX_VALUE)
+        for loc in locs if rng.random() < 0.5
+    }
+
+    test = LitmusTest(
+        name=f"fuzz_{seed}_{iteration}",
+        description=f"generated (seed={seed}, iteration={iteration})",
+        layout=layout,
+        threads=threads,
+        gpu_waves=gpu_waves,
+        dma=dma,
+        init=init,
+        postcondition=None,
+    )
+    test.validate()
+    return test, generate_schedule(rng)

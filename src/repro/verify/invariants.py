@@ -61,7 +61,8 @@ class CoherenceMonitor(TransitionHook):
 
     # -- hooks ------------------------------------------------------------------
 
-    def on_transition(self, controller, addr, state, event, next_state) -> None:
+    def on_transition(self, controller, addr, state, event, next_state,
+                      table=None) -> None:
         if next_state == "U":  # a Figure-2 transaction reaching its commit point
             self.check_line(addr)
 

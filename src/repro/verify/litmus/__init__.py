@@ -41,7 +41,13 @@ from repro.verify.litmus.registry import (
     all_litmus_tests,
     get_litmus,
 )
-from repro.verify.litmus.schedule import Schedule, default_schedules
+from repro.verify.litmus.schedule import (
+    SCHEDULE_VARIANTS,
+    Schedule,
+    ScheduleVariant,
+    default_schedules,
+    variant_of,
+)
 
 __all__ = [
     "CompiledLitmus",
@@ -56,10 +62,13 @@ __all__ = [
     "MinimizationResult",
     "POLICY_VARIANTS",
     "REGISTRY",
+    "SCHEDULE_VARIANTS",
     "Schedule",
+    "ScheduleVariant",
     "SpinTimeout",
     "all_litmus_tests",
     "default_schedules",
+    "variant_of",
     "dump_artifact",
     "get_litmus",
     "litmus_key",

@@ -81,6 +81,9 @@ class LitmusOutcome:
     final_memory: dict[str, int] | None = None
     ticks: int | None = None
     trace_text: str | None = None
+    #: sorted ``(table, state, event)`` triples the run fired, when the
+    #: run was made with ``coverage=True`` (None otherwise)
+    coverage: list[tuple[str, str, str]] | None = None
 
     @property
     def ok(self) -> bool:
@@ -109,7 +112,8 @@ def litmus_config(policy: DirectoryPolicy) -> SystemConfig:
 
 
 def litmus_key(test: LitmusTest, policy: DirectoryPolicy,
-               schedule: Schedule, max_events: int) -> str:
+               schedule: Schedule, max_events: int,
+               coverage: bool = False) -> str:
     """Content-addressed key for one (litmus, policy, schedule) triple.
 
     Mirrors :func:`repro.runner.cache.cell_key`: everything determining
@@ -127,6 +131,7 @@ def litmus_key(test: LitmusTest, policy: DirectoryPolicy,
         "policy": policy_to_dict(policy),
         "schedule": schedule.to_json(),
         "max_events": max_events,
+        "coverage": coverage,
     }
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -147,6 +152,10 @@ def outcome_to_dict(outcome: LitmusOutcome) -> dict:
         ),
         "ticks": outcome.ticks,
         "trace_text": outcome.trace_text,
+        "coverage": (
+            [list(triple) for triple in outcome.coverage]
+            if outcome.coverage is not None else None
+        ),
     }
 
 
@@ -164,6 +173,10 @@ def outcome_from_dict(data: dict) -> LitmusOutcome:
         ),
         ticks=data.get("ticks"),
         trace_text=data.get("trace_text"),
+        coverage=(
+            [tuple(triple) for triple in data["coverage"]]
+            if data.get("coverage") is not None else None
+        ),
     )
 
 
@@ -177,6 +190,7 @@ def run_litmus(
     trace_capacity: int = 4_000,
     mutate_system: Callable[[object], None] | None = None,
     store=None,
+    coverage: bool = False,
 ) -> LitmusOutcome:
     """Run one litmus under one policy and one schedule.
 
@@ -189,6 +203,10 @@ def run_litmus(
     triple is a store lookup, not a simulation.  Traced or
     fault-injected runs bypass the store — their outcomes depend on
     state outside the key.
+
+    ``coverage`` attaches a :class:`TransitionCoverage` hook and records
+    the set of ``(table, state, event)`` triples the run fired in the
+    outcome.  Covered and uncovered runs memoize under distinct keys.
     """
     policy = POLICY_VARIANTS[policy_name] if policy is None else policy
     schedule = schedule or Schedule(0)
@@ -196,7 +214,7 @@ def run_litmus(
     if memoizable:
         from repro.store import KIND_LITMUS
 
-        key = litmus_key(test, policy, schedule, max_events)
+        key = litmus_key(test, policy, schedule, max_events, coverage)
         row = store.get_row(key, KIND_LITMUS)
         if row is not None:
             try:
@@ -208,7 +226,7 @@ def run_litmus(
                 return stored
         outcome = _run_litmus_live(
             test, policy, schedule, policy_name, max_events,
-            trace, trace_capacity, mutate_system,
+            trace, trace_capacity, mutate_system, coverage,
         )
         from repro.system.serialize import policy_to_dict
 
@@ -225,7 +243,7 @@ def run_litmus(
         return outcome
     return _run_litmus_live(
         test, policy, schedule, policy_name, max_events,
-        trace, trace_capacity, mutate_system,
+        trace, trace_capacity, mutate_system, coverage,
     )
 
 
@@ -238,6 +256,7 @@ def _run_litmus_live(
     trace: bool,
     trace_capacity: int,
     mutate_system: Callable[[object], None] | None,
+    coverage: bool = False,
 ) -> LitmusOutcome:
     system = build_system(litmus_config(policy))
     schedule.apply(system)
@@ -247,6 +266,11 @@ def _run_litmus_live(
     if trace:
         protocol_trace = ProtocolTrace(capacity=trace_capacity)
         protocol_trace.attach_system(system)
+    coverage_hook = None
+    if coverage:
+        from repro.coherence.engine import TransitionCoverage
+
+        coverage_hook = TransitionCoverage().attach_system(system)
 
     workload = CompiledLitmus(test)
     outcome = LitmusOutcome(test.name, policy_name, schedule)
@@ -281,6 +305,8 @@ def _run_litmus_live(
         outcome.final_memory = None
     if protocol_trace is not None:
         outcome.trace_text = protocol_trace.dump(limit=200)
+    if coverage_hook is not None:
+        outcome.coverage = coverage_hook.triples()
     return outcome
 
 

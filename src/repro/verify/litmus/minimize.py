@@ -219,17 +219,21 @@ def minimize_failure(
         waves = [list(s) for s in current.gpu_waves]
         waves[index] = shrunk
         current = current.with_agents(current.threads, waves, current.dma)
-    # drop now-empty waves / trailing empty threads
+    # drop now-empty waves / trailing empty threads — but agent count is
+    # itself a schedule input (it shifts downstream tie-breaks), so only
+    # adopt the stripped form if it still fails the same way
     stripped = current.with_agents(
         _rstrip_empty(current.threads),
         [wave for wave in current.gpu_waves if wave],
         current.dma,
     )
-    if stripped.threads or stripped.gpu_waves or stripped.dma:
+    if ((stripped.threads or stripped.gpu_waves or stripped.dma)
+            and stripped.to_json() != current.to_json()
+            and budget.take() and fails(stripped)):
         current = stripped
     # else: every op shrank away (the failure needs no agent at all, e.g. a
-    # broken init-state postcondition); keep the verified placeholder
-    # threads rather than resurrecting the original ops
+    # broken init-state postcondition), the strip changed nothing, or the
+    # stripped shape no longer reproduces — keep the verified form
 
     # level 3: simplify the schedule
     final_schedule = schedule

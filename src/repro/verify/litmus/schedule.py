@@ -96,11 +96,50 @@ DEFAULT_JITTER_CYCLES = 4
 DEFAULT_SCHEDULE_BANDWIDTH = 8
 
 
+@dataclass(frozen=True)
+class ScheduleVariant:
+    """One perturbation shape in the exploration rotation, knobs by name."""
+
+    name: str
+    jitter: bool            #: apply per-kind-pair latency jitter
+    tie_break: bool         #: permute same-tick event order
+    contended: bool         #: finite link bandwidth + WRR arbitration
+
+    def schedule(self, seed: int,
+                 jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> Schedule:
+        return Schedule(
+            seed,
+            jitter_cycles=jitter_cycles if self.jitter else 0,
+            tie_break=self.tie_break,
+            link_bytes_per_cycle=(
+                DEFAULT_SCHEDULE_BANDWIDTH if self.contended else 0
+            ),
+        )
+
+
+#: the exploration rotation, indexed by ``seed % len(SCHEDULE_VARIANTS)``.
+#: Order is load-bearing: seed 1 lands on index 1 (jitter-only), seed 2 on
+#: index 2 (tie-only), seed 3 on index 3 (contended), seed 4 wraps to
+#: index 0 (jitter+tie) — the same schedules stored litmus results were
+#: keyed under before the rotation had names.
+SCHEDULE_VARIANTS: tuple[ScheduleVariant, ...] = (
+    ScheduleVariant("jitter+tie", jitter=True, tie_break=True, contended=False),
+    ScheduleVariant("jitter", jitter=True, tie_break=False, contended=False),
+    ScheduleVariant("tie", jitter=False, tie_break=True, contended=False),
+    ScheduleVariant("tie+contended", jitter=False, tie_break=True, contended=True),
+)
+
+
+def variant_of(seed: int) -> ScheduleVariant:
+    """The rotation slot a non-canonical seed lands on."""
+    return SCHEDULE_VARIANTS[seed % len(SCHEDULE_VARIANTS)]
+
+
 def default_schedules(count: int = 8,
                       jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> list[Schedule]:
-    """The standard exploration set: the canonical schedule plus a rotation
-    of jitter-only, tie-break-only, combined, and contended-fabric
-    perturbations.
+    """The standard exploration set: the canonical schedule plus the
+    :data:`SCHEDULE_VARIANTS` rotation (jitter+tie, jitter-only, tie-only,
+    contended fabric).
 
     Distinct seeds land on distinct schedules, so ``count`` is also the
     number of genuinely different interleavings attempted (>= 8 in CI).
@@ -109,15 +148,5 @@ def default_schedules(count: int = 8,
         raise ValueError("need at least one schedule")
     schedules = [Schedule(0)]
     for seed in range(1, count):
-        variant = seed % 4
-        schedules.append(
-            Schedule(
-                seed,
-                jitter_cycles=0 if variant in (2, 3) else jitter_cycles,
-                tie_break=variant != 1,
-                link_bytes_per_cycle=(
-                    DEFAULT_SCHEDULE_BANDWIDTH if variant == 3 else 0
-                ),
-            )
-        )
+        schedules.append(variant_of(seed).schedule(seed, jitter_cycles))
     return schedules

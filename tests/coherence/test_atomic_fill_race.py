@@ -1,0 +1,68 @@
+"""Regression for a fuzzer-found precise-directory bug: a TCC fill racing
+in behind a system-scope atomic to the same line.
+
+The TCC drops its own copy when it *issues* an SLC atomic, but a
+concurrent wave's plain load can fill the line between the atomic's
+issue and its commit at the directory.  The directory used to exclude
+the requester from its invalidation probes, so the freshly-filled copy
+survived the atomic — and with the directory entry dropped to I, the
+precise protocol (which probes nothing on I) could never invalidate it
+again: ``dir=I but the TCC holds the line``.  Found by
+``repro fuzz run --seed 0 --budget 2000`` (iteration 54), minimized to
+the 3-op shape below; fixed by probing the requester on atomics
+(``RequestPlan.probe_requester``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.litmus import LitmusTest, Schedule, run_litmus
+from repro.verify.litmus.schedule import default_schedules
+
+
+def _race_test() -> LitmusTest:
+    return LitmusTest(
+        name="tcc_fill_vs_slc_atomic",
+        description="plain-load fill races a pair of SLC atomics",
+        layout={"x0": (0, 5), "x1": (16, 8)},
+        threads=[],
+        gpu_waves=[
+            [("atomic", "x1", "cas", 1, "a0", "slc"),
+             ("atomic", "x1", "max", 2, "a1", "slc")],
+            [("load", "x1", "r2")],
+        ],
+        init={"x0": 17, "x1": 13},
+        postcondition=None,  # verifier-only: the invariant monitor decides
+    )
+
+
+@pytest.mark.parametrize("policy", ["baseline", "owner", "sharers",
+                                    "sharers+banked", "sharers+limitedPtr"])
+def test_slc_atomic_invalidates_a_racing_fill(policy):
+    test = _race_test()
+    for schedule in default_schedules(4):
+        outcome = run_litmus(test, policy_name=policy, schedule=schedule)
+        assert outcome.ok, f"{policy}@{schedule.label()}: {outcome.describe()}"
+
+
+def test_directory_entry_and_tcc_agree_after_the_atomic():
+    """After the run, no TCC may hold a line the precise directory
+    tracks as I (the exact invariant the fuzzer tripped)."""
+    captured = {}
+
+    def grab(system):
+        captured["system"] = system
+
+    outcome = run_litmus(_race_test(), policy_name="sharers",
+                         schedule=Schedule(0), mutate_system=grab)
+    assert outcome.ok
+    system = captured["system"]
+    from repro.coherence.precise import DirState
+
+    for tcc in system.tccs:
+        for line in tcc.array.iter_valid():
+            state, _entry = system.directories[0].snapshot_entry(line.addr)
+            assert state is not DirState.I, (
+                f"TCC holds {line.addr:#x} but the directory tracks I"
+            )

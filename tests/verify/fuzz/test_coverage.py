@@ -1,0 +1,178 @@
+"""TransitionCoverage hook, policy universes, and report/baseline logic."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.coherence.lint import lint_tables, shipped_tables
+from repro.verify.fuzz.coverage import (
+    CoverageState,
+    check_baseline,
+    coverage_report,
+    policy_dead_rows,
+    policy_universe,
+    report_json,
+    unhit_detail,
+)
+from repro.verify.litmus import Schedule, get_litmus, run_litmus
+
+
+class TestTransitionCoverageHook:
+    def test_run_litmus_records_triples(self):
+        outcome = run_litmus(get_litmus("mp"), coverage=True)
+        assert outcome.ok
+        assert outcome.coverage
+        tables = {table for table, _state, _event in outcome.coverage}
+        assert "corepair-moesi" in tables
+        assert any(table.startswith("dir-") for table in tables)
+
+    def test_coverage_off_by_default(self):
+        outcome = run_litmus(get_litmus("mp"))
+        assert outcome.coverage is None
+
+    def test_triples_are_sorted_and_deterministic(self):
+        first = run_litmus(get_litmus("dirty_handoff"), coverage=True)
+        second = run_litmus(get_litmus("dirty_handoff"), coverage=True)
+        assert first.coverage == sorted(first.coverage)
+        assert first.coverage == second.coverage
+
+    def test_hits_stay_within_the_declared_universe(self):
+        outcome = run_litmus(
+            get_litmus("mp"), policy_name="sharers", coverage=True
+        )
+        universe = policy_universe("sharers")
+        assert set(outcome.coverage) <= universe
+
+
+class TestPolicyUniverse:
+    def test_universe_is_nonempty_and_policy_dependent(self):
+        baseline = policy_universe("baseline")
+        sharers = policy_universe("sharers")
+        assert baseline and sharers
+        # both dispatch through the same corepair MOESI table
+        assert any(t == "corepair-moesi" for t, _s, _e in baseline)
+        assert any(t == "corepair-moesi" for t, _s, _e in sharers)
+
+    def test_precise_policies_include_table1(self):
+        tables = {t for t, _s, _e in policy_universe("sharers")}
+        assert "dir-table1" in tables
+        assert "dir-table1" not in {
+            t for t, _s, _e in policy_universe("baseline")
+        }
+
+    def test_agreement_with_lint(self):
+        """The cross-check the acceptance criteria pin: the shipped tables
+        lint clean, so no policy may report dead-row candidates, and the
+        universe restriction (reachable source states) matches lint's own
+        reachability."""
+        _report, clean = lint_tables(shipped_tables())
+        assert clean
+        for policy in ("baseline", "owner", "sharers"):
+            assert policy_dead_rows(policy) == frozenset()
+
+
+class TestCoverageState:
+    def test_add_returns_only_fresh_triples(self):
+        state = CoverageState()
+        first = state.add("baseline", [("t", "A", "e1"), ("t", "A", "e2")])
+        assert first == {("t", "A", "e1"), ("t", "A", "e2")}
+        second = state.add("baseline", [("t", "A", "e2"), ("t", "B", "e1")])
+        assert second == {("t", "B", "e1")}
+        assert state.total() == 3
+
+    def test_policies_are_independent(self):
+        state = CoverageState()
+        state.add("baseline", [("t", "A", "e")])
+        fresh = state.add("sharers", [("t", "A", "e")])
+        assert fresh  # same triple, different policy: still new
+
+    def test_json_round_trip(self, tmp_path):
+        state = CoverageState()
+        state.add("owner", [("dir-fig2/precise", "S", "gpu_read")])
+        state.add("baseline", [("corepair-moesi", "M", "prb_inv")])
+        path = str(tmp_path / "coverage.json")
+        state.save(path)
+        loaded = CoverageState.load(path)
+        assert loaded.to_json() == state.to_json()
+        # save is byte-stable
+        state.save(str(tmp_path / "again.json"))
+        assert (tmp_path / "coverage.json").read_bytes() == (
+            tmp_path / "again.json"
+        ).read_bytes()
+
+    def test_rejects_foreign_formats(self):
+        with pytest.raises(ValueError, match="format"):
+            CoverageState.from_json({"format": "something-else/9"})
+
+
+class TestReport:
+    def _state(self):
+        state = CoverageState()
+        outcome = run_litmus(
+            get_litmus("mp"), policy_name="baseline",
+            schedule=Schedule(0), coverage=True,
+        )
+        state.add("baseline", outcome.coverage)
+        return state
+
+    def test_report_counts_and_shape(self):
+        state = self._state()
+        text, data = coverage_report(state, ["baseline"])
+        entry = data["policies"]["baseline"]
+        assert entry["universe"] == len(policy_universe("baseline"))
+        assert 0 < entry["covered"] < entry["universe"]
+        assert entry["covered"] + len(entry["reachable_unhit"]) == (
+            entry["universe"]
+        )
+        assert entry["dead_candidates"] == []
+        assert "baseline" in text and "overall:" in text
+
+    def test_report_json_is_byte_stable(self):
+        state = self._state()
+        _, first = coverage_report(state, ["baseline"])
+        _, second = coverage_report(state, ["baseline"])
+        assert report_json(first) == report_json(second)
+        json.loads(report_json(first))  # and valid JSON
+
+    def test_unhit_detail_lists_rows(self):
+        _, data = coverage_report(self._state(), ["baseline"])
+        detail = unhit_detail(data, "baseline")
+        assert detail.startswith("baseline:")
+        rows = data["policies"]["baseline"]["reachable_unhit"]
+        assert len(detail.splitlines()) == 1 + len(rows)
+
+
+class TestBaselineGate:
+    def _data(self, percent, covered=50):
+        return {
+            "format": "repro-fuzz-report/1",
+            "policies": {
+                "baseline": {
+                    "universe": 100, "covered": covered,
+                    "percent": percent,
+                    "reachable_unhit": [], "dead_candidates": [],
+                },
+            },
+        }
+
+    def test_passes_above_the_floor(self):
+        baseline = {"policies": {"baseline": {"min_percent": 40.0}}}
+        assert check_baseline(self._data(50.0), baseline) == []
+
+    def test_fails_below_the_floor(self):
+        baseline = {"policies": {"baseline": {"min_percent": 60.0}}}
+        problems = check_baseline(self._data(50.0), baseline)
+        assert len(problems) == 1
+        assert "below the baseline floor" in problems[0]
+
+    def test_missing_policy_is_a_regression(self):
+        baseline = {"policies": {"sharers": {"min_percent": 10.0}}}
+        problems = check_baseline(self._data(50.0), baseline)
+        assert "missing" in problems[0]
+
+    def test_overall_rows_floor(self):
+        baseline = {"policies": {}, "min_overall_rows": 60}
+        problems = check_baseline(self._data(50.0, covered=50), baseline)
+        assert "overall covered rows 50 below baseline 60" in problems

@@ -1,0 +1,105 @@
+"""Generator determinism and the DSL round-trip property (satellite 2)."""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.fuzz.generate import (
+    MAX_DMA,
+    MAX_LOCS,
+    MAX_THREADS,
+    MAX_WAVES,
+    generate_case,
+)
+from repro.verify.litmus import LitmusTest, Schedule, run_litmus
+from repro.verify.litmus.dsl import CompiledLitmus
+
+
+class TestDeterminism:
+    def test_same_seed_iteration_is_byte_identical(self):
+        for iteration in (0, 7, 123):
+            first_test, first_schedule = generate_case(3, iteration)
+            second_test, second_schedule = generate_case(3, iteration)
+            assert first_test.to_json() == second_test.to_json()
+            assert first_schedule == second_schedule
+            # canonical JSON, not just dict equality
+            assert (json.dumps(first_test.to_json(), sort_keys=True)
+                    == json.dumps(second_test.to_json(), sort_keys=True))
+
+    def test_different_iterations_differ(self):
+        programs = {
+            json.dumps(generate_case(0, i)[0].to_json(), sort_keys=True)
+            for i in range(20)
+        }
+        assert len(programs) > 15  # collisions would shrink the search
+
+    def test_names_encode_the_slot(self):
+        test, _ = generate_case(5, 17)
+        assert test.name == "fuzz_5_17"
+
+
+class TestShape:
+    def test_bounds_hold_over_many_cases(self):
+        for iteration in range(50):
+            test, schedule = generate_case(1, iteration)
+            test.validate()
+            assert 2 <= len(test.layout) <= MAX_LOCS
+            assert 1 <= len(test.threads) <= MAX_THREADS
+            assert len(test.gpu_waves) <= MAX_WAVES
+            assert len(test.dma) <= MAX_DMA
+            assert test.postcondition is None
+            assert isinstance(schedule, Schedule)
+
+    def test_never_emits_spins(self):
+        """A generated spin without its writer would drown the campaign
+        in spin_timeout noise; the generator must not produce any."""
+        for iteration in range(80):
+            test, _ = generate_case(2, iteration)
+            for _agent, script in test.agents():
+                assert not any(op[0] in ("spin", "spin_ge") for op in script)
+
+    def test_dma_stays_inside_the_layout(self):
+        """A transfer past the last layout line would trample the
+        workload's code region."""
+        for iteration in range(80):
+            test, _ = generate_case(4, iteration)
+            num_lines = 1 + max(line for line, _ in test.layout.values())
+            for spec in test.dma:
+                start = test.layout[spec.loc][0]
+                assert start + spec.lines <= num_lines
+
+
+@st.composite
+def campaign_slots(draw):
+    return (draw(st.integers(min_value=0, max_value=50)),
+            draw(st.integers(min_value=0, max_value=200)))
+
+
+class TestRoundTripProperty:
+    @given(campaign_slots())
+    @settings(max_examples=30, deadline=None)
+    def test_generated_programs_round_trip_and_compile(self, slot):
+        """Satellite 2: any generated DSL program round-trips through JSON
+        and compiles to a runnable CompiledLitmus."""
+        seed, iteration = slot
+        test, _schedule = generate_case(seed, iteration)
+        data = json.loads(json.dumps(test.to_json()))
+        rebuilt = LitmusTest.from_json(data)
+        assert rebuilt.to_json() == test.to_json()
+        compiled = CompiledLitmus(rebuilt)
+        assert compiled.name == f"litmus_{test.name}"
+
+    @given(st.integers(min_value=0, max_value=300))
+    @settings(max_examples=8, deadline=None)
+    def test_no_oracle_divergence_on_canonical_schedule(self, iteration):
+        """Satellite 2 (dynamic half): generated programs run clean on the
+        canonical schedule — no invariant violation, no oracle error
+        (random finals are racy, but every read must still see a written
+        value)."""
+        test, _ = generate_case(0, iteration)
+        outcome = run_litmus(test, policy_name="baseline",
+                             schedule=Schedule(0))
+        assert outcome.ok, outcome.describe()

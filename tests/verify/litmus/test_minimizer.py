@@ -165,6 +165,42 @@ class TestArtifacts:
             load_artifact(str(path))
 
 
+class TestFuzzerFindsSeededFault:
+    """Satellite: the coverage-guided fuzzer, pointed at the same broken
+    MOESI table, must find the invariant violation within a fixed
+    seed/budget and hand back a ddmin-shrunk artifact."""
+
+    def test_campaign_finds_and_minimizes_the_broken_row(self, tmp_path):
+        from repro.verify.fuzz import run_campaign
+        from repro.verify.litmus import load_artifact, replay_artifact
+
+        result = run_campaign(
+            seed=0, budget=40, corpus_dir=str(tmp_path / "fault"),
+            policies=["baseline"], mutate_system=_inject,
+        )
+        assert len(result.failures) == 1
+        artifact = load_artifact(result.failures[0])
+        assert artifact["failure"]["kind"] == "invariant"
+        # ISSUE acceptance: minimized to <= 3 ops within the smoke budget
+        assert artifact["minimized_ops"] <= 3
+        outcome = replay_artifact(result.failures[0], mutate_system=_inject)
+        assert outcome.failure_kind == "invariant"
+
+    def test_fault_campaign_leaves_no_corpus_droppings(self, tmp_path):
+        from repro.verify.fuzz import Corpus, run_campaign
+        from repro.verify.fuzz.campaign import COVERAGE_FILE
+
+        corpus_dir = str(tmp_path / "fault")
+        run_campaign(
+            seed=0, budget=10, corpus_dir=corpus_dir,
+            policies=["baseline"], mutate_system=_inject,
+        )
+        assert len(Corpus(corpus_dir)) == 0
+        import os
+
+        assert not os.path.exists(os.path.join(corpus_dir, COVERAGE_FILE))
+
+
 class TestDdmin:
     """The shrinking kernel in isolation, with a cheap predicate."""
 

@@ -3,11 +3,17 @@
 from __future__ import annotations
 
 from repro.verify.litmus import (
+    SCHEDULE_VARIANTS,
     Schedule,
     default_schedules,
     get_litmus,
     run_litmus,
     run_schedules,
+    variant_of,
+)
+from repro.verify.litmus.schedule import (
+    DEFAULT_JITTER_CYCLES,
+    DEFAULT_SCHEDULE_BANDWIDTH,
 )
 
 
@@ -55,6 +61,56 @@ class TestScheduleObjects:
     def test_labels_are_distinct(self):
         labels = [s.label() for s in default_schedules(8)]
         assert len(set(labels)) == 8
+
+
+class TestScheduleVariants:
+    """The named rotation table that replaced the ``seed % 4`` magic."""
+
+    def test_every_variant_enumerated(self):
+        """All four rotation shapes, by name, with their exact knobs."""
+        by_name = {variant.name: variant for variant in SCHEDULE_VARIANTS}
+        assert sorted(by_name) == ["jitter", "jitter+tie", "tie",
+                                   "tie+contended"]
+        assert by_name["jitter+tie"].jitter and by_name["jitter+tie"].tie_break
+        assert not by_name["jitter+tie"].contended
+        assert by_name["jitter"].jitter and not by_name["jitter"].tie_break
+        assert by_name["tie"].tie_break and not by_name["tie"].jitter
+        contended = by_name["tie+contended"]
+        assert contended.tie_break and contended.contended
+        assert not contended.jitter
+
+    def test_variant_schedules_cover_every_knob_shape(self):
+        for variant in SCHEDULE_VARIANTS:
+            schedule = variant.schedule(7)
+            assert schedule.seed == 7
+            assert bool(schedule.jitter_cycles) == variant.jitter
+            assert schedule.tie_break == variant.tie_break
+            assert bool(schedule.link_bytes_per_cycle) == variant.contended
+            if variant.jitter:
+                assert schedule.jitter_cycles == DEFAULT_JITTER_CYCLES
+            if variant.contended:
+                assert (schedule.link_bytes_per_cycle
+                        == DEFAULT_SCHEDULE_BANDWIDTH)
+
+    def test_rotation_matches_historical_seed_mod_4(self):
+        """The named table preserves the exact schedules stored litmus
+        results were keyed under: seed 1 -> jitter-only, 2 -> tie-only,
+        3 -> contended, 4 -> jitter+tie (wrap)."""
+        assert variant_of(1).name == "jitter"
+        assert variant_of(2).name == "tie"
+        assert variant_of(3).name == "tie+contended"
+        assert variant_of(4).name == "jitter+tie"
+        expected = [
+            Schedule(0),
+            Schedule(1, jitter_cycles=4),
+            Schedule(2, tie_break=True),
+            Schedule(3, tie_break=True, link_bytes_per_cycle=8),
+            Schedule(4, jitter_cycles=4, tie_break=True),
+            Schedule(5, jitter_cycles=4),
+            Schedule(6, tie_break=True),
+            Schedule(7, tie_break=True, link_bytes_per_cycle=8),
+        ]
+        assert default_schedules(8) == expected
 
 
 class TestScheduleExecution:
