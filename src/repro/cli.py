@@ -171,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lit_p.add_argument("--policies", nargs="+", default=None, metavar="P",
                        help="policy variants to sweep (default: all 12; "
                             "see --list)")
+    lit_p.add_argument("--bounded", action="store_true",
+                       help="run every explored schedule on the bounded "
+                            "fabric with the liveness watchdog armed "
+                            "(the flow-control sweep; default rotation "
+                            "includes one bounded slot)")
     lit_p.add_argument("--minimize", action="store_true",
                        help="shrink each failing triple to a minimal "
                             "reproducer and dump a replayable artifact")
@@ -217,6 +222,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="per-run wall-clock timeout in seconds")
     frun_p.add_argument("--min-runs", type=_positive_int, default=None,
                         metavar="N", help="shrink budget per corpus entry")
+    frun_p.add_argument("--target", action="append", default=None,
+                        metavar="TABLE:STATE:EVENT",
+                        help="directed mode: bias generation toward this "
+                             "(table, state, event) row (repeatable); see "
+                             "`repro fuzz coverage --policy P` for the "
+                             "reachable-but-unhit rows")
     frun_p.add_argument("--store", nargs="?", const="", default=None,
                         metavar="DB",
                         help="memoize runs in the results store (resume "
@@ -526,6 +537,7 @@ def _litmus(args) -> int:
     from repro.verify.litmus import (
         POLICY_VARIANTS,
         REGISTRY,
+        bounded_schedules,
         default_schedules,
         dump_artifact,
         get_litmus,
@@ -570,7 +582,10 @@ def _litmus(args) -> int:
         policies = {name: POLICY_VARIANTS[name] for name in args.policies}
     else:
         policies = POLICY_VARIANTS
-    schedules = default_schedules(args.schedules)
+    schedules = (
+        bounded_schedules(args.schedules) if args.bounded
+        else default_schedules(args.schedules)
+    )
     store = None
     if args.store is not None:
         from repro.store import ResultStore
@@ -656,6 +671,16 @@ def _fuzz(args) -> int:
         kwargs = {}
         if args.min_runs is not None:
             kwargs["minimize_runs"] = args.min_runs
+        if args.target:
+            targets = []
+            for spec in args.target:
+                parts = spec.split(":")
+                if len(parts) != 3 or not all(parts):
+                    print(f"bad --target {spec!r} "
+                          "(expected TABLE:STATE:EVENT)", file=sys.stderr)
+                    return 2
+                targets.append(tuple(parts))
+            kwargs["targets"] = targets
         result = run_campaign(
             seed=args.seed,
             budget=args.budget,

@@ -21,15 +21,30 @@ completion), so arbitration can reorder timing but never values — the same
 write-before-read guarantee the single-channel model gives.  The default
 configuration (1 bank, no row model) takes the original code path untouched
 and is bit-identical to the committed golden stats.
+
+Scheduler option (``scheduler="frfcfs"``, banked + row model only): each
+bank replaces its WRR class queues with a :class:`~repro.sim.arbiter.
+FrFcfsQueue` — the oldest *row-hit* is serviced ahead of older row-missing
+accesses, bounded by a row-streak cap for starvation freedom.  Issue-order
+commit makes the reordering timing-only.
+
+Flow control (``queue_depth > 0``, banked only): each bank's queue is
+bounded; accesses beyond the bound spill to a per-bank overflow FIFO, and
+while *any* overflow is non-empty the controller asserts back-pressure
+through :meth:`set_stall_callback` (the builder wires it to gate the
+directory's network input port).  Every grant frees a slot and promotes
+the oldest spilled access, so the overflow always drains by memory timing
+alone — the gate can never deadlock the fabric.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.mem.address import LINE_BYTES
 from repro.mem.block import ZERO_LINE, LineData
-from repro.sim.arbiter import WrrArbiter
+from repro.sim.arbiter import FrFcfsQueue, WrrArbiter
 from repro.sim.clock import ClockDomain
 from repro.sim.component import Component
 from repro.sim.event_queue import SimulationError
@@ -39,15 +54,25 @@ if TYPE_CHECKING:
 
 
 class _Bank:
-    """One DRAM bank: a WRR-arbitrated queue plus open-row state."""
+    """One DRAM bank: a scheduler queue (WRR or FR-FCFS) plus open-row
+    state, a busy flag, and the bounded-mode overflow FIFO."""
 
-    __slots__ = ("index", "arb", "open_row", "key")
+    __slots__ = ("index", "arb", "fr", "open_row", "key", "busy", "overflow")
 
-    def __init__(self, index: int, weights: dict[str, int] | None) -> None:
+    def __init__(self, index: int, weights: dict[str, int] | None,
+                 frfcfs: bool) -> None:
         self.index = index
-        self.arb = WrrArbiter(f"bank{index}", dict(weights) if weights else None)
+        self.arb = (
+            None if frfcfs
+            else WrrArbiter(f"bank{index}", dict(weights) if weights else None)
+        )
+        self.fr = FrFcfsQueue(f"bank{index}") if frfcfs else None
         self.open_row: int | None = None
         self.key = f"b{index}.accesses"
+        #: True while a grant is in flight (the gap timer will re-grant)
+        self.busy = False
+        #: accesses spilled past the bounded queue depth, oldest first
+        self.overflow: deque = deque()
 
 
 class _Access:
@@ -57,13 +82,15 @@ class _Access:
     path allocates no per-access bookkeeping in steady state.
     """
 
-    __slots__ = ("kind", "addr", "callback", "enqueued_at")
+    __slots__ = ("kind", "addr", "callback", "enqueued_at", "cls")
 
-    def __init__(self, kind: str, addr: int, callback, enqueued_at: int) -> None:
+    def __init__(self, kind: str, addr: int, callback, enqueued_at: int,
+                 cls: str = "other") -> None:
         self.kind = kind          # "r" | "w"
         self.addr = addr
         self.callback = callback  # read: data consumer; write: completion or None
         self.enqueued_at = enqueued_at
+        self.cls = cls            # WRR traffic class of the requester
 
 
 class MainMemory(Component):
@@ -81,6 +108,8 @@ class MainMemory(Component):
         row_hit_latency_cycles: float | None = None,
         row_miss_latency_cycles: float | None = None,
         arb_weights: dict[str, int] | None = None,
+        queue_depth: int = 0,
+        scheduler: str = "fifo",
     ) -> None:
         super().__init__(sim, name, clock)
         if num_banks < 1:
@@ -89,6 +118,20 @@ class MainMemory(Component):
             raise SimulationError(
                 f"row_bytes must be 0 or a multiple of the {LINE_BYTES}-byte "
                 f"line size, got {row_bytes}"
+            )
+        if scheduler not in ("fifo", "frfcfs"):
+            raise SimulationError(f"unknown memory scheduler {scheduler!r}")
+        if queue_depth < 0:
+            raise SimulationError(f"queue_depth must be >= 0, got {queue_depth}")
+        banked = num_banks > 1 or row_bytes > 0
+        if queue_depth and not banked:
+            raise SimulationError(
+                "bounded bank queues need the banked controller "
+                "(num_banks > 1 or row_bytes > 0)"
+            )
+        if scheduler == "frfcfs" and not row_bytes:
+            raise SimulationError(
+                "the FR-FCFS scheduler needs the open-row model (row_bytes > 0)"
             )
         self.latency_cycles = latency_cycles
         self.gap_cycles = gap_cycles
@@ -107,11 +150,24 @@ class MainMemory(Component):
         self._outstanding = 0
         #: banked mode is any deviation from the paper's single ordered
         #: channel; the flat path below stays byte-for-byte the original.
-        self._banked = num_banks > 1 or row_bytes > 0
+        self._banked = banked
+        self.scheduler = scheduler
+        self._frfcfs = scheduler == "frfcfs"
+        self.queue_depth = queue_depth
         self._banks = (
-            [_Bank(i, arb_weights) for i in range(num_banks)]
+            [_Bank(i, arb_weights, self._frfcfs) for i in range(num_banks)]
             if self._banked else []
         )
+        #: FR-FCFS row accessor, bound once (avoids a lambda per pick)
+        self._row_of = (
+            (lambda access: access.addr // row_bytes) if row_bytes else None
+        )
+        #: back-pressure hook: called with True when the first access
+        #: spills to an overflow FIFO, False when the last one drains
+        self._stall_cb: Callable[[bool], None] | None = None
+        #: total spilled accesses across banks + stall-window start tick
+        self._overflowed = 0
+        self._stalled_since = 0
         #: ``source name -> traffic class`` classifier (set by the builder
         #: from the network's endpoint kinds); None classifies everything
         #: as "other".
@@ -129,6 +185,12 @@ class MainMemory(Component):
         """Install the requester-name -> traffic-class mapping used by the
         banked WRR arbiters (no effect on the flat channel)."""
         self._classifier = classifier
+
+    def set_stall_callback(self, callback: Callable[[bool], None] | None) -> None:
+        """Install the bounded-queue back-pressure hook (see module
+        docstring): ``callback(True)`` when any bank overflows its bounded
+        queue, ``callback(False)`` when the overflow fully drains."""
+        self._stall_cb = callback
 
     # -- functional backing store ----------------------------------------
 
@@ -283,7 +345,12 @@ class MainMemory(Component):
         return (addr // LINE_BYTES) % self.num_banks
 
     def _enqueue(self, kind: str, addr: int, callback, source: str | None) -> None:
-        """Queue one access on its bank; start the bank if it is idle."""
+        """Queue one access on its bank; start the bank if it is idle.
+
+        With bounded queues an access past the bound spills to the bank's
+        overflow FIFO and (on the first spill) asserts back-pressure
+        through the stall callback.
+        """
         self._outstanding += 1
         bank = self._banks[self.bank_of(addr)]
         cls = "other"
@@ -296,21 +363,53 @@ class MainMemory(Component):
             access.addr = addr
             access.callback = callback
             access.enqueued_at = self.now
+            access.cls = cls
         else:
-            access = _Access(kind, addr, callback, self.now)
-        bank.arb.enqueue(cls, access)
-        if not bank.arb.busy:
+            access = _Access(kind, addr, callback, self.now, cls)
+        if self.queue_depth and self._bank_depth(bank) >= self.queue_depth:
+            bank.overflow.append(access)
+            counters = self._counters
+            if "queue_overflows" in counters:
+                counters["queue_overflows"] += 1
+            else:
+                self.stats.inc("queue_overflows")
+            self._overflowed += 1
+            if self._overflowed == 1:
+                self._stalled_since = self.now
+                if self._stall_cb is not None:
+                    self._stall_cb(True)
+            return
+        self._admit(bank, access)
+
+    def _bank_depth(self, bank: _Bank) -> int:
+        """Admitted (non-overflow) queue depth of one bank."""
+        return len(bank.fr) if self._frfcfs else bank.arb.pending()
+
+    def _admit(self, bank: _Bank, access: _Access) -> None:
+        """Place one access in the bank's scheduler queue; kick if idle."""
+        if self._frfcfs:
+            bank.fr.enqueue(access)
+        else:
+            bank.arb.enqueue(access.cls, access)
+        if not bank.busy:
             self._bank_grant(bank)
 
-    def _bank_grant(self, bank: _Bank) -> None:
-        """Admit the next access in WRR order; the bank stays busy for
-        ``gap_cycles`` before the following grant."""
+    def _bank_pick(self, bank: _Bank) -> _Access | None:
+        """Next access under the configured scheduling discipline."""
+        if self._frfcfs:
+            return bank.fr.pick(bank.open_row, self._row_of)
         picked = bank.arb.pick()
-        if picked is None:
-            bank.arb.busy = False
+        return picked[1] if picked is not None else None
+
+    def _bank_grant(self, bank: _Bank) -> None:
+        """Admit the next access in scheduler order; the bank stays busy
+        for ``gap_cycles`` before the following grant."""
+        access = self._bank_pick(bank)
+        if access is None:
+            bank.busy = False
             return
-        bank.arb.busy = True
-        cls, access = picked
+        bank.busy = True
+        cls = access.cls
         events = self.sim.events
         now = events.now
         counters = self._counters
@@ -343,6 +442,8 @@ class MainMemory(Component):
                 else:
                     self.stats.inc("row_hits")
                 latency = self.row_hit_latency_cycles
+                if self._frfcfs:
+                    bank.fr.note_row(True)
             else:
                 if "row_misses" in counters:
                     counters["row_misses"] += 1
@@ -350,6 +451,8 @@ class MainMemory(Component):
                     self.stats.inc("row_misses")
                 bank.open_row = row
                 latency = self.row_miss_latency_cycles
+                if self._frfcfs:
+                    bank.fr.note_row(False)
         else:
             latency = self.latency_cycles
         if access.kind == "r":
@@ -367,6 +470,25 @@ class MainMemory(Component):
             now + self.clock.cycles_to_ticks(self.gap_cycles),
             self._bank_next, 0, bank,
         )
+        if bank.overflow:
+            # the grant freed one bounded-queue slot: promote the oldest
+            # spilled access, and release back-pressure once every
+            # overflow FIFO is empty again
+            promoted = bank.overflow.popleft()
+            if self._frfcfs:
+                bank.fr.enqueue(promoted)
+            else:
+                bank.arb.enqueue(promoted.cls, promoted)
+            self._overflowed -= 1
+            if self._overflowed == 0:
+                stalled = now - self._stalled_since
+                if stalled:
+                    if "stalled_ticks" in counters:
+                        counters["stalled_ticks"] += stalled
+                    else:
+                        self.stats.inc("stalled_ticks", stalled)
+                if self._stall_cb is not None:
+                    self._stall_cb(False)
 
     def _bank_complete_read(self, access: _Access) -> None:
         self._outstanding -= 1
@@ -397,3 +519,31 @@ class MainMemory(Component):
         if self._outstanding:
             return f"{self._outstanding} outstanding accesses"
         return None
+
+    def blocked_snapshot(self) -> dict[str, int]:
+        """``"overflow" -> stall-start tick`` while back-pressure is
+        asserted (the watchdog's starvation probe; empty otherwise)."""
+        if self._overflowed:
+            return {"overflow": self._stalled_since}
+        return {}
+
+    def describe_queues(self) -> str:
+        """Multi-line bank-queue dump for the watchdog's deadlock report."""
+        if not self._banked:
+            return ""
+        lines = []
+        for bank in self._banks:
+            depth = self._bank_depth(bank)
+            spilled = len(bank.overflow)
+            if not depth and not spilled and not bank.busy:
+                continue
+            lines.append(
+                f"bank {bank.index}: {depth} queued, {spilled} spilled, "
+                f"busy={bank.busy}, open_row={bank.open_row}"
+            )
+        if self._overflowed:
+            lines.append(
+                f"back-pressure asserted since tick {self._stalled_since} "
+                f"({self._overflowed} spilled access(es))"
+            )
+        return "\n".join(lines)

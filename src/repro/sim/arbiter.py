@@ -18,12 +18,18 @@ ports, :class:`repro.mem.main_memory.MainMemory` banks), which call
 :meth:`enqueue` on arrival and :meth:`pick` whenever the port frees up.
 Determinism: for a fixed arrival order the grant order is a pure function of
 the weights — there is no randomness anywhere.
+
+:class:`FrFcfsQueue` is the same kind of pure pick-order structure for a
+DRAM bank under the *first-ready, first-come-first-served* discipline:
+the oldest access to the currently open row is granted ahead of older
+row-missing accesses, bounded by a row-streak cap so a conflicting access
+can be delayed only a fixed number of grants (starvation freedom).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 #: network endpoint kind -> arbitration traffic class
 CLASS_OF_KIND = {
@@ -146,3 +152,70 @@ class WrrArbiter:
     def __repr__(self) -> str:
         depths = {cls: len(q) for cls, q in self._queues.items() if q}
         return f"WrrArbiter({self.name!r}, weights={self._weights}, queued={depths})"
+
+
+class FrFcfsQueue:
+    """First-ready FCFS pick order for one DRAM bank.
+
+    A single FIFO of pending accesses; :meth:`pick` grants the *oldest
+    row-hit* (an access whose row matches the bank's open row) while the
+    bank's current row streak is below ``row_streak_cap``, and the plain
+    oldest access otherwise.  The caller reports each serviced access's
+    row outcome through :meth:`note_row`, which is what advances / resets
+    the streak — once the cap is reached the queue degenerates to FCFS
+    until a row miss is actually serviced, so no access can be bypassed
+    more than ``row_streak_cap`` times.
+
+    Like :class:`WrrArbiter` this owns no clock and schedules nothing; the
+    bank's open-row state stays with the memory controller and is passed
+    into :meth:`pick` along with a ``row_of`` accessor.
+    """
+
+    __slots__ = ("name", "row_streak_cap", "_queue", "row_streak", "promotions")
+
+    def __init__(self, name: str, row_streak_cap: int = 4) -> None:
+        if row_streak_cap < 1:
+            raise ValueError(
+                f"FR-FCFS row streak cap must be >= 1, got {row_streak_cap}"
+            )
+        self.name = name
+        self.row_streak_cap = row_streak_cap
+        self._queue: deque = deque()
+        #: consecutive row-hit services (maintained via :meth:`note_row`)
+        self.row_streak = 0
+        #: row-hits granted ahead of an older row-missing access
+        self.promotions = 0
+
+    def enqueue(self, item: Any) -> None:
+        self._queue.append(item)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def pick(self, open_row: int | None, row_of: Callable[[Any], int]):
+        """Grant the next access (None when empty); see class docstring."""
+        queue = self._queue
+        if not queue:
+            return None
+        if open_row is not None and self.row_streak < self.row_streak_cap:
+            for index, item in enumerate(queue):
+                if row_of(item) == open_row:
+                    if index:
+                        del queue[index]
+                        self.promotions += 1
+                        return item
+                    return queue.popleft()
+        return queue.popleft()
+
+    def note_row(self, hit: bool) -> None:
+        """Record the row outcome of the access just serviced."""
+        self.row_streak = self.row_streak + 1 if hit else 0
+
+    def __repr__(self) -> str:
+        return (
+            f"FrFcfsQueue({self.name!r}, queued={len(self._queue)}, "
+            f"streak={self.row_streak}/{self.row_streak_cap})"
+        )

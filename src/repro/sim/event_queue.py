@@ -535,6 +535,12 @@ class Simulator:
         self.events = queue if queue is not None else self.queue_class()
         self.components: list[Any] = []
         self._finalizers: list[Callable[[], None]] = []
+        #: armed liveness checker (see :mod:`repro.sim.watchdog`), if any
+        self.watchdog: Any = None
+
+    def install_watchdog(self, watchdog: Any) -> None:
+        """Attach a liveness watchdog; its report enriches DeadlockErrors."""
+        self.watchdog = watchdog
 
     @property
     def now(self) -> int:
@@ -565,19 +571,45 @@ class Simulator:
         Raises :class:`DeadlockError` if the queue drains with work pending.
         """
         limit = self.DEFAULT_MAX_EVENTS if max_events is None else max_events
-        self.events.run(max_events=limit)
+        if self.watchdog is None:
+            self.events.run(max_events=limit)
+        else:
+            self._run_watched(limit)
         if len(self.events) > 0:
             raise SimulationError(
                 f"simulation exceeded max_events={limit} (possible livelock)"
             )
         pending = self.pending_work()
         if pending:
+            if self.watchdog is not None:
+                self.watchdog.deadlock(pending)  # raises WatchdogError
             raise DeadlockError(
                 "event queue drained with pending work:\n  " + "\n  ".join(pending)
             )
         for callback in self._finalizers:
             callback()
         return self.events.now
+
+    def _run_watched(self, limit: int) -> None:
+        """Run to completion in watchdog-window slices.
+
+        The watchdog schedules no events; instead the run pauses every
+        ``window_ticks`` for a liveness check.  Event order, event counts,
+        and the final tick are bit-identical to an unwatched run — the
+        only difference is where the inner loop briefly returns.
+        """
+        events = self.events
+        watchdog = self.watchdog
+        window = watchdog.window_ticks
+        start = events.executed_events
+        while True:
+            remaining = limit - (events.executed_events - start)
+            if remaining <= 0:
+                return  # the caller raises the max_events backstop
+            events.run(until=events.now + window, max_events=remaining)
+            if events.next_time() is None:
+                return
+            watchdog.check()  # raises WatchdogError on a starved port
 
     def run_for(self, ticks: int, max_events: int | None = None) -> int:
         """Run at most ``ticks`` ticks from now; returns the final tick.

@@ -28,10 +28,30 @@ classes, classified by the sending endpoint's kind.  With the default
 ``link_bytes_per_cycle = 0`` the fabric is pure latency and every contended
 structure is dormant — that configuration is bit-identical to the committed
 golden stats.
+
+Flow control (``input_queue_depth > 0`` on top of the contention model):
+every arbitrated input port becomes a *bounded* queue of
+``input_queue_depth`` entries, tracked by a credit counter.  A sender's
+output port turns into an event-driven FIFO whose head message must obtain
+a credit from its destination's input port before it may start
+serializing; with no credit available the output port parks on the
+destination's waiter list and everything queued behind the head stalls
+with it — head-of-line blocking is exactly what carries back-pressure
+transitively to the component behind the sender.  A credit is consumed
+when serialization starts (the message is "in the destination's queue"
+from that point: in flight plus arbitrating) and released when the input
+port *grants* the message; a freed credit is handed directly to the
+longest-parked waiter rather than returned to the pool, so a same-tick
+``send()`` can never steal it and starve a blocked port.  Input-port grant
+engines can also be *gated* by kind (:meth:`Network.set_kind_gate`) —
+the memory controller uses this to push its own bounded-queue overflow
+back into the fabric.  With ``input_queue_depth = 0`` the contended path
+above runs unchanged (unbounded queues, send-time scheduling).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Any
 
 from repro.sim.arbiter import WrrArbiter, class_of_kind
@@ -79,34 +99,72 @@ class _InPort:
     """A shared endpoint's WRR-arbitrated, finite-bandwidth input port.
 
     Stat-counter keys (``<name>.grants.<class>``, ``<name>.wait_ticks``,
-    ``<name>.max_depth``) are precomputed once per port/class instead of
-    being f-string-built per granted message.
+    ``<name>.max_depth``, ``<name>.occupancy_ticks``) are precomputed once
+    per port/class instead of being f-string-built per granted message.
+
+    Under flow control the port additionally owns the credit counter
+    (``credits``/``capacity``) and the FIFO of output ports parked waiting
+    for a credit (``waiters``); ``gated`` freezes the grant engine while a
+    downstream resource (the bounded memory controller) is saturated.
     """
 
     __slots__ = ("name", "arb", "deliver", "max_depth",
-                 "wait_key", "depth_key", "grant_keys")
+                 "wait_key", "depth_key", "occ_key",
+                 "grant_keys", "class_wait_keys",
+                 "depth", "last_change",
+                 "capacity", "credits", "waiters", "gated")
 
-    def __init__(self, name: str, arb: WrrArbiter, deliver: Any) -> None:
+    def __init__(self, name: str, arb: WrrArbiter, deliver: Any,
+                 capacity: int = 0) -> None:
         self.name = name
         self.arb = arb
         self.deliver = deliver
         self.max_depth = 0
         self.wait_key = name + ".wait_ticks"
         self.depth_key = name + ".max_depth"
+        self.occ_key = name + ".occupancy_ticks"
         #: traffic class -> "<port>.grants.<class>" (lazily extended)
         self.grant_keys: dict[str, str] = {}
+        #: traffic class -> "<port>.wait_ticks.<class>" (lazily extended)
+        self.class_wait_keys: dict[str, str] = {}
+        #: current queue depth + last tick it changed (occupancy integral)
+        self.depth = 0
+        self.last_change = 0
+        #: bounded-queue capacity (0 = unbounded) and remaining credits
+        self.capacity = capacity
+        self.credits = capacity
+        #: output ports parked waiting for a credit, oldest first
+        self.waiters: deque = deque()
+        #: True while the grant engine is frozen by back-pressure
+        self.gated = False
 
 
 class _OutPort:
-    """A sender's finite-bandwidth output port: free tick + stat keys."""
+    """A sender's finite-bandwidth output port.
 
-    __slots__ = ("free", "busy_key", "wait_key", "queued_key")
+    Without flow control only ``free`` (the next tick the link is idle) is
+    used — send-time arithmetic, no events.  Under flow control the port
+    runs event-driven: ``queue`` holds ``(route, msg, enqueued_at)``
+    waiting to serialize, ``busy`` marks an in-progress serialization, and
+    ``blocked`` marks the port parked on a full input port's waiter list.
+    """
+
+    __slots__ = ("name", "free", "queue", "busy", "blocked", "blocked_since",
+                 "busy_key", "wait_key", "queued_key",
+                 "blocks_key", "blocked_key")
 
     def __init__(self, name: str) -> None:
+        self.name = name
         self.free = 0
+        self.queue: deque = deque()
+        self.busy = False
+        self.blocked = False
+        self.blocked_since = 0
         self.busy_key = name + ".busy_ticks"
         self.wait_key = name + ".wait_ticks"
         self.queued_key = name + ".queued_msgs"
+        self.blocks_key = name + ".credit_blocks"
+        self.blocked_key = name + ".credit_blocked_ticks"
 
 
 class Network(Component):
@@ -121,6 +179,7 @@ class Network(Component):
         link_bytes_per_cycle: int = 0,
         arb_weights: dict[str, int] | None = None,
         arbitrated_kinds: tuple[str, ...] = DEFAULT_ARBITRATED_KINDS,
+        input_queue_depth: int = 0,
     ) -> None:
         super().__init__(sim, name, clock)
         self.default_latency_cycles = default_latency_cycles
@@ -154,8 +213,16 @@ class Network(Component):
         self._hop_pool: list[list] = []
         self._entry_pool: list[list] = []
         self._grant_pool: list[list] = []
+        # -- flow control (dormant while input_queue_depth == 0) -----------
+        self.input_queue_depth = 0
+        #: endpoint kinds whose input grant engines are currently gated
+        self._gated_kinds: set[str] = set()
+        #: free list for the bounded path's [out, route, msg] flight records
+        self._flight_pool: list[list] = []
         if link_bytes_per_cycle:
             self.set_link_bandwidth(link_bytes_per_cycle)
+        if input_queue_depth:
+            self.set_flow_control(input_queue_depth)
 
     # -- wiring -----------------------------------------------------------
 
@@ -188,6 +255,52 @@ class Network(Component):
         self.link_bytes_per_cycle = bytes_per_cycle
         self._ser_memo = {}
         self._routes.clear()
+
+    def set_flow_control(self, input_queue_depth: int) -> None:
+        """Enable (or, with 0, disable) bounded input queues with
+        credit-based back-pressure (see module docstring).
+
+        Only meaningful together with the finite-bandwidth link model;
+        like :meth:`set_link_bandwidth` it must be called before traffic
+        flows (credits are initialized full, queues empty) — the litmus
+        :class:`~repro.verify.litmus.schedule.Schedule` calls it on a
+        freshly built system.
+        """
+        if input_queue_depth < 0:
+            raise SimulationError(
+                f"input queue depth must be >= 0, got {input_queue_depth}"
+            )
+        self.input_queue_depth = input_queue_depth
+        for port in self._in_ports.values():
+            port.capacity = input_queue_depth
+            port.credits = input_queue_depth
+
+    def set_kind_gate(self, kind: str, gated: bool) -> None:
+        """Gate (or release) the grant engine of every arbitrated input
+        port of ``kind``.
+
+        While gated the ports keep accepting arrivals but grant nothing,
+        so their queues fill and (under flow control) their credits run
+        out — which stalls senders through the normal credit path.  The
+        bounded memory controller uses this to propagate its own overflow
+        back-pressure to the directory's input.  Releasing the gate
+        schedules a same-tick grant resume for every port with queued
+        work.
+        """
+        if gated:
+            self._gated_kinds.add(kind)
+        else:
+            self._gated_kinds.discard(kind)
+        events = self.sim.events
+        for name, port in self._in_ports.items():
+            if self._kinds.get(name) != kind:
+                continue
+            port.gated = gated
+            if not gated and not port.arb.busy and port.arb.pending():
+                # claim the engine before the resume event fires so an
+                # arrival in between cannot start a second grant engine
+                port.arb.busy = True
+                events.schedule(events.now, self._arb_grant, 0, port)
 
     def endpoints_of_kind(self, kind: str) -> list[str]:
         return [name for name, k in self._kinds.items() if k == kind]
@@ -268,8 +381,10 @@ class Network(Component):
             in_port = self._in_ports.get(dst)
             if in_port is None:
                 in_port = _InPort(
-                    dst, WrrArbiter(dst, dict(self.arb_weights)), endpoint.deliver
+                    dst, WrrArbiter(dst, dict(self.arb_weights)),
+                    endpoint.deliver, capacity=self.input_queue_depth,
                 )
+                in_port.gated = dst_kind in self._gated_kinds
                 self._in_ports[dst] = in_port
         route = _Route(
             delay, endpoint.deliver, f"{src_kind}->{dst_kind}",
@@ -322,6 +437,9 @@ class Network(Component):
         events = self.sim.events
         if not self.link_bytes_per_cycle:
             events.schedule(events.now + route.delay_ticks, route.deliver, 0, msg)
+            return
+        if self.input_queue_depth:
+            self._send_bounded(msg, route)
             return
         self._send_contended(msg, route)
 
@@ -398,6 +516,141 @@ class Network(Component):
                 hop = [port, route.arb_class, msg]
             events.schedule(arrival, self._arb_arrive, 0, hop)
 
+    # -- flow-controlled transport ----------------------------------------
+
+    def _send_bounded(self, msg: Any, route: _Route) -> None:
+        """Flow-controlled path: queue on the sender's event-driven output
+        port and start it if idle (see module docstring for the credit
+        protocol)."""
+        out = self._out_ports.get(msg.src)
+        if out is None:
+            out = self._out_ports[msg.src] = _OutPort(msg.src)
+        out.queue.append((route, msg, self.sim.events.now))
+        if not out.busy and not out.blocked:
+            self._out_pump(out)
+
+    def _out_pump(self, out: _OutPort) -> None:
+        """Try to start the head of an idle output port's queue.
+
+        Only ever called with ``busy == blocked == False``; either starts
+        serialization (consuming a credit if the destination is bounded)
+        or parks the port on the destination's waiter list.
+        """
+        queue = out.queue
+        if not queue:
+            return
+        route, msg, enqueued_at = queue[0]
+        port = route.in_port
+        if port is not None and port.capacity:
+            if port.credits == 0:
+                # destination input queue full: park; the queue behind the
+                # head stalls with it (transitive back-pressure)
+                out.blocked = True
+                out.blocked_since = self.sim.events.now
+                port.waiters.append(out)
+                stats = self._port_stats
+                if stats is None:
+                    stats = self._port_stats = self.stats.child("ports")
+                counters = stats._counters
+                key = out.blocks_key
+                if key in counters:
+                    counters[key] += 1
+                else:
+                    stats.inc(key)
+                return
+            port.credits -= 1
+        queue.popleft()
+        self._out_start(out, route, msg, enqueued_at)
+
+    def _out_start(self, out: _OutPort, route: _Route, msg: Any,
+                   enqueued_at: int) -> None:
+        """Begin serializing one message (its credit is already paid)."""
+        events = self.sim.events
+        now = events.now
+        ser = self._ser_ticks(msg.size_bytes)
+        out.busy = True
+        stats = self._port_stats
+        if stats is None:
+            stats = self._port_stats = self.stats.child("ports")
+        counters = stats._counters
+        key = out.busy_key
+        if key in counters:
+            counters[key] += ser
+        else:
+            stats.inc(key, ser)
+        wait = now - enqueued_at
+        if wait:
+            key = out.wait_key
+            if key in counters:
+                counters[key] += wait
+            else:
+                stats.inc(key, wait)
+            key = out.queued_key
+            if key in counters:
+                counters[key] += 1
+            else:
+                stats.inc(key)
+        pool = self._flight_pool
+        if pool:
+            flight = pool.pop()
+            flight[0] = out
+            flight[1] = route
+            flight[2] = msg
+        else:
+            flight = [out, route, msg]
+        events.schedule(now + ser, self._out_done, 0, flight)
+
+    def _out_done(self, flight: list) -> None:
+        """Serialization finished: launch the latency flight and pump the
+        next queued message."""
+        out = flight[0]
+        route = flight[1]
+        msg = flight[2]
+        flight[0] = flight[1] = flight[2] = None
+        self._flight_pool.append(flight)
+        out.busy = False
+        events = self.sim.events
+        arrival = events.now + route.delay_ticks
+        port = route.in_port
+        if port is None:
+            events.schedule(arrival, route.deliver, 0, msg)
+        else:
+            pool = self._hop_pool
+            if pool:
+                hop = pool.pop()
+                hop[0] = port
+                hop[1] = route.arb_class
+                hop[2] = msg
+            else:
+                hop = [port, route.arb_class, msg]
+            events.schedule(arrival, self._arb_arrive, 0, hop)
+        self._out_pump(out)
+
+    def _out_unblock(self, wake: list) -> None:
+        """A parked output port received a hand-off credit: start its head
+        message.  The head cannot have changed while parked (nothing pops
+        a blocked port's queue), so the credit pays for exactly the
+        message that was refused."""
+        port = wake[0]
+        out = wake[1]
+        wake[0] = wake[1] = None
+        self._grant_pool.append(wake)
+        if not out.blocked or not out.queue:
+            port.credits += 1  # defensive: waiter vanished, return credit
+            return
+        stats = self._port_stats
+        counters = stats._counters
+        blocked = self.sim.events.now - out.blocked_since
+        if blocked:
+            key = out.blocked_key
+            if key in counters:
+                counters[key] += blocked
+            else:
+                stats.inc(key, blocked)
+        out.blocked = False
+        route, msg, enqueued_at = out.queue.popleft()
+        self._out_start(out, route, msg, enqueued_at)
+
     def _arb_arrive(self, hop: list) -> None:
         """A message reaches a shared port: enqueue in its class, and start
         the grant engine if the port is idle."""
@@ -407,20 +660,33 @@ class Network(Component):
         hop[0] = hop[2] = None
         self._hop_pool.append(hop)
         arb = port.arb
+        now = self.sim.events.now
         pool = self._entry_pool
         if pool:
             entry = pool.pop()
-            entry[0] = self.sim.events.now
+            entry[0] = now
             entry[1] = msg
         else:
-            entry = [self.sim.events.now, msg]
+            entry = [now, msg]
         arb.enqueue(arb_class, entry)
+        stats = self._arb_stats
+        if stats is None:
+            stats = self._arb_stats = self.stats.child("arb")
+        # occupancy integral: depth * time since the depth last changed
+        dt = now - port.last_change
+        if dt:
+            if port.depth:
+                counters = stats._counters
+                key = port.occ_key
+                if key in counters:
+                    counters[key] += port.depth * dt
+                else:
+                    stats.inc(key, port.depth * dt)
+            port.last_change = now
+        port.depth += 1
         depth = arb.pending()
         if depth > port.max_depth:
             port.max_depth = depth
-            stats = self._arb_stats
-            if stats is None:
-                stats = self._arb_stats = self.stats.child("arb")
             stats.set(port.depth_key, depth)
         if not arb.busy:
             self._arb_grant(port)
@@ -429,6 +695,11 @@ class Network(Component):
         """Grant the next message in WRR order and occupy the input port
         for its serialization time."""
         arb = port.arb
+        if port.gated:
+            # back-pressure gate: stop granting; set_kind_gate(False)
+            # schedules the resume
+            arb.busy = False
+            return
         picked = arb.pick()
         if picked is None:
             arb.busy = False
@@ -445,6 +716,17 @@ class Network(Component):
         if stats is None:
             stats = self._arb_stats = self.stats.child("arb")
         counters = stats._counters
+        # occupancy integral + depth bookkeeping (mirrors _arb_arrive)
+        dt = now - port.last_change
+        if dt:
+            if port.depth:
+                key = port.occ_key
+                if key in counters:
+                    counters[key] += port.depth * dt
+                else:
+                    stats.inc(key, port.depth * dt)
+            port.last_change = now
+        port.depth -= 1
         key = port.grant_keys.get(arb_class)
         if key is None:
             key = port.grant_keys.setdefault(
@@ -461,6 +743,31 @@ class Network(Component):
                 counters[key] += wait
             else:
                 stats.inc(key, wait)
+            key = port.class_wait_keys.get(arb_class)
+            if key is None:
+                key = port.class_wait_keys.setdefault(
+                    arb_class, f"{port.name}.wait_ticks.{arb_class}"
+                )
+            if key in counters:
+                counters[key] += wait
+            else:
+                stats.inc(key, wait)
+        if port.capacity:
+            # the grant frees one input-queue slot: hand the credit to the
+            # longest-parked sender (as an event, so the grant engine never
+            # re-enters sender code), or return it to the pool
+            waiters = port.waiters
+            if waiters:
+                pool = self._grant_pool
+                if pool:
+                    wake = pool.pop()
+                    wake[0] = port
+                    wake[1] = waiters.popleft()
+                else:
+                    wake = [port, waiters.popleft()]
+                events.schedule(now, self._out_unblock, 0, wake)
+            else:
+                port.credits += 1
         pool = self._grant_pool
         if pool:
             grant = pool.pop()
@@ -480,3 +787,74 @@ class Network(Component):
         self._grant_pool.append(grant)
         port.deliver(msg)
         self._arb_grant(port)
+
+    # -- liveness introspection -------------------------------------------
+
+    def pending_work(self) -> str | None:
+        """Messages stranded behind back-pressure (the simulator's quiesce
+        check: a drained event queue with a blocked or gated port is a
+        deadlock, not a finished run)."""
+        if not self.link_bytes_per_cycle:
+            return None
+        stuck = []
+        for name, out in self._out_ports.items():
+            if out.blocked:
+                stuck.append(f"{name} credit-blocked ({len(out.queue)} queued)")
+        for name, port in self._in_ports.items():
+            pending = port.arb.pending()
+            if port.gated and (pending or port.waiters):
+                stuck.append(f"{name} gated ({pending} queued)")
+            elif pending and not port.arb.busy:
+                # should be unreachable: the grant engine restarts on every
+                # arrival — report it rather than silently finishing
+                stuck.append(f"{name} idle with {pending} queued")
+        if stuck:
+            return "; ".join(stuck)
+        return None
+
+    def blocked_snapshot(self) -> dict[str, int]:
+        """``output port name -> blocked-since tick`` for every
+        credit-blocked port (the watchdog's starvation probe: a port whose
+        stamp never changes across windows is starved, not just busy)."""
+        return {
+            name: out.blocked_since
+            for name, out in self._out_ports.items()
+            if out.blocked
+        }
+
+    def describe_ports(self) -> str:
+        """Multi-line wait-for dump of the flow-controlled fabric: every
+        non-idle output port with its head destination, and every input
+        port with credits, queue depth, and parked waiters.  This is the
+        blocked-port wait-for graph the watchdog prints on a trip."""
+        lines = []
+        for name in sorted(self._out_ports):
+            out = self._out_ports[name]
+            if not out.queue and not out.busy and not out.blocked:
+                continue
+            if out.blocked:
+                state = f"BLOCKED since tick {out.blocked_since}"
+            elif out.busy:
+                state = "serializing"
+            else:
+                state = "idle"
+            head = out.queue[0][1] if out.queue else None
+            dst = getattr(head, "dst", "-") if head is not None else "-"
+            lines.append(
+                f"out {name}: {state}, {len(out.queue)} queued, head -> {dst}"
+            )
+        for name in sorted(self._in_ports):
+            port = self._in_ports[name]
+            pending = port.arb.pending()
+            if not pending and not port.waiters and not port.gated:
+                continue
+            waiting = ", ".join(w.name for w in port.waiters) or "-"
+            gate = ", GATED" if port.gated else ""
+            credits = (
+                f"{port.credits}/{port.capacity}" if port.capacity else "inf"
+            )
+            lines.append(
+                f"in {name}: credits {credits}, {pending} queued, "
+                f"waiters [{waiting}]{gate}"
+            )
+        return "\n".join(lines)

@@ -91,6 +91,23 @@ class ApuSystem:
     dma: "DmaEngine"
     clocks: dict[str, ClockDomain]
 
+    def arm_watchdog(self, window_cycles: float):
+        """Arm the deadlock/starvation watchdog (idempotent): one liveness
+        check per ``window_cycles`` uncore cycles, with the network's
+        blocked-port and the memory controller's back-pressure snapshots as
+        starvation probes and their wait-for/queue dumps wired into the
+        trip report.  Returns the :class:`~repro.sim.watchdog.Watchdog`."""
+        from repro.sim.watchdog import Watchdog
+
+        if self.sim.watchdog is not None:
+            return self.sim.watchdog
+        watchdog = Watchdog(self.sim, self.clocks["uncore"], window_cycles)
+        watchdog.add_probe("network", self.network.blocked_snapshot)
+        watchdog.add_probe("memory", self.memory.blocked_snapshot)
+        watchdog.add_dump("network ports", self.network.describe_ports)
+        watchdog.add_dump("memory queues", self.memory.describe_queues)
+        return watchdog
+
     # -- running workloads ----------------------------------------------------
 
     def run_workload(

@@ -37,11 +37,14 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
     gpu_clock = ClockDomain("gpu", config.gpu_freq_ghz * 1e9)
     uncore_clock = ClockDomain("uncore", config.uncore_freq_ghz * 1e9)
 
+    arbitrated_kinds = ("dir", "tcc") if config.arbitrate_tcc_ports else ("dir",)
     network = Network(
         sim, uncore_clock,
         default_latency_cycles=config.net_latency_cycles,
         link_bytes_per_cycle=config.link_bytes_per_cycle,
         arb_weights=config.arb_weights,
+        arbitrated_kinds=arbitrated_kinds,
+        input_queue_depth=config.input_queue_depth,
     )
     memory = MainMemory(
         sim, uncore_clock,
@@ -52,6 +55,8 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
         row_hit_latency_cycles=config.mem_row_hit_latency_cycles,
         row_miss_latency_cycles=config.mem_row_miss_latency_cycles,
         arb_weights=config.arb_weights,
+        queue_depth=config.mem_queue_depth,
+        scheduler=config.mem_scheduler,
     )
     # Directory banks (§VII distributed directories; 1 = the paper's
     # monolithic directory).  Each bank owns an LLC slice; all banks share
@@ -156,8 +161,16 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
     memory.set_classifier(
         lambda source: class_of_kind(network._kinds.get(source, ""))
     )
+    # Bounded bank queues push back on the fabric: while any bank's queue
+    # has spilled, the directory input ports stop granting, so directory
+    # traffic queues up and (under flow control) stalls its senders.  The
+    # gate releases on memory timing alone, so it cannot deadlock.
+    if config.mem_queue_depth:
+        memory.set_stall_callback(
+            lambda stalled: network.set_kind_gate("dir", stalled)
+        )
 
-    return ApuSystem(
+    system = ApuSystem(
         sim=sim,
         config=config,
         network=network,
@@ -176,3 +189,6 @@ def build_system(config: SystemConfig | None = None) -> ApuSystem:
         dma=dma,
         clocks={"cpu": cpu_clock, "gpu": gpu_clock, "uncore": uncore_clock},
     )
+    if config.watchdog_window_cycles:
+        system.arm_watchdog(config.watchdog_window_cycles)
+    return system

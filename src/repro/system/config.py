@@ -92,6 +92,22 @@ class SystemConfig:
     mem_row_hit_latency_cycles: float = 100.0
     mem_row_miss_latency_cycles: float = 200.0
 
+    # Flow control (opt-in extension of the contended fabric; defaults =
+    # unbounded queues, bit-identical to the pre-flow-control model).
+    # ``input_queue_depth > 0`` bounds every arbitrated input port and
+    # turns on credit-based back-pressure that stalls the sender's output
+    # port when a downstream queue is full; ``arbitrate_tcc_ports`` extends
+    # WRR input arbitration from the directory to the TCC/LLC side;
+    # ``mem_queue_depth > 0`` bounds the banked memory controller's bank
+    # queues (overflow gates the directory's input ports);
+    # ``mem_scheduler="frfcfs"`` picks first-ready FCFS over per-bank FIFO;
+    # ``watchdog_window_cycles > 0`` arms the deadlock/starvation watchdog.
+    input_queue_depth: int = 0
+    arbitrate_tcc_ports: bool = False
+    mem_queue_depth: int = 0
+    mem_scheduler: str = "fifo"
+    watchdog_window_cycles: float = 0.0
+
     # Protocol
     policy: DirectoryPolicy = field(default_factory=DirectoryPolicy)
     gpu_tcp_writeback: bool = False   # gem5's WB_L1
@@ -147,6 +163,29 @@ class SystemConfig:
             raise ValueError("need at least one memory bank")
         if self.mem_row_bytes < 0:
             raise ValueError("mem_row_bytes must be >= 0 (0 = no row model)")
+        if self.input_queue_depth < 0:
+            raise ValueError("input_queue_depth must be >= 0 (0 = unbounded)")
+        if self.input_queue_depth and not self.link_bytes_per_cycle:
+            raise ValueError(
+                "bounded input queues need the finite-bandwidth link model "
+                "(link_bytes_per_cycle > 0)"
+            )
+        if self.mem_queue_depth < 0:
+            raise ValueError("mem_queue_depth must be >= 0 (0 = unbounded)")
+        if self.mem_queue_depth and not (self.mem_banks > 1 or self.mem_row_bytes):
+            raise ValueError(
+                "bounded bank queues need the banked memory controller "
+                "(mem_banks > 1 or mem_row_bytes > 0)"
+            )
+        if self.mem_scheduler not in ("fifo", "frfcfs"):
+            raise ValueError(f"unknown mem_scheduler {self.mem_scheduler!r}")
+        if self.mem_scheduler == "frfcfs" and not self.mem_row_bytes:
+            raise ValueError(
+                "the FR-FCFS scheduler needs the open-row model "
+                "(mem_row_bytes > 0)"
+            )
+        if self.watchdog_window_cycles < 0:
+            raise ValueError("watchdog_window_cycles must be >= 0 (0 = off)")
         self.policy.validate()
 
     # -- presets ----------------------------------------------------------------
@@ -199,6 +238,28 @@ class SystemConfig:
         contention ablation (how the paper's §III/§IV gains shift when
         bursts actually collide) and the contended golden-stats pin."""
         defaults = dict(cls.CONTENDED_KNOBS)
+        defaults.update(overrides)
+        return cls.benchmark(policy=policy, **defaults)
+
+    #: :meth:`contended` plus end-to-end flow control: bounded arbitrated
+    #: input queues (directory *and* TCC) with credit back-pressure, a
+    #: bounded FR-FCFS memory controller that gates the directory ports
+    #: when its bank queues overflow, and an armed liveness watchdog.
+    BOUNDED_KNOBS = dict(
+        CONTENDED_KNOBS,
+        input_queue_depth=4,
+        arbitrate_tcc_ports=True,
+        mem_queue_depth=8,
+        mem_scheduler="frfcfs",
+        watchdog_window_cycles=200_000.0,
+    )
+
+    @classmethod
+    def bounded(cls, policy: DirectoryPolicy | None = None, **overrides) -> "SystemConfig":
+        """The :meth:`contended` fabric with finite queues and credit-based
+        back-pressure everywhere — the configuration behind the
+        bounded-vs-unbounded ablation and the bounded golden-stats pin."""
+        defaults = dict(cls.BOUNDED_KNOBS)
         defaults.update(overrides)
         return cls.benchmark(policy=policy, **defaults)
 

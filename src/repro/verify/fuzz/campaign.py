@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 
 from repro.verify.fuzz.corpus import Corpus, CorpusEntry, minimize_entry
 from repro.verify.fuzz.coverage import CoverageState, coverage_report
-from repro.verify.fuzz.generate import generate_case
+from repro.verify.fuzz.generate import generate_case, profile_for_targets
 
 #: programs per resolve_litmus batch (each fans out over the policies)
 BATCH_PROGRAMS = 25
@@ -60,6 +60,8 @@ class CampaignResult:
     corpus_digest: str = ""
     report_text: str = ""
     report_data: dict = field(default_factory=dict)
+    targets: list[tuple] = field(default_factory=list)
+    targets_hit: list[tuple] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [
@@ -69,6 +71,12 @@ class CampaignResult:
             f"corpus: {self.new_entries} new entries, "
             f"digest {self.corpus_digest}",
         ]
+        if self.targets:
+            hit = set(self.targets_hit)
+            for target in self.targets:
+                table, state, event = target
+                status = "HIT" if target in hit else "unhit"
+                lines.append(f"target {table}:{state}:{event} — {status}")
         if self.failures:
             lines.append(f"FAILURES ({len(self.failures)} minimized):")
             lines.extend(f"  {path}" for path in self.failures)
@@ -94,6 +102,7 @@ def run_campaign(
     progress=None,
     mutate_system=None,
     max_events: int | None = None,
+    targets=None,
 ) -> CampaignResult:
     """Run one coverage-guided campaign of ``budget`` litmus runs.
 
@@ -107,6 +116,12 @@ def run_campaign(
     shrink candidate); it forces inline execution and disables both the
     store and corpus writes — a fault-injection campaign only looks for
     the failure, it must not pollute the shared coverage corpus.
+
+    ``targets`` — an iterable of ``(table, state, event)`` triples —
+    switches the campaign to **directed** mode: generation uses
+    :func:`profile_for_targets` to bias op weights and tiny-directory
+    schedules toward the named rows, and the result reports which
+    targets any policy hit.
     """
     from repro.store.resolve import resolve_litmus
     from repro.verify.litmus.minimize import (
@@ -119,6 +134,11 @@ def run_campaign(
         raise ValueError("need at least one policy")
     emit = progress or (lambda line: None)
     fault_mode = mutate_system is not None
+    targets = [tuple(target) for target in targets or ()]
+    profile = profile_for_targets(targets) if targets else None
+    if targets:
+        emit(f"[fuzz] directed mode: {len(targets)} target row(s), "
+             f"profile {profile.name}")
 
     corpus = Corpus(corpus_dir)
     coverage_path = os.path.join(corpus_dir, COVERAGE_FILE)
@@ -127,13 +147,17 @@ def run_campaign(
         state = CoverageState.load(coverage_path)
         emit(f"[fuzz] resuming: {state.total()} rows already covered")
 
-    result = CampaignResult(seed=seed, budget=budget, policies=policies)
+    result = CampaignResult(seed=seed, budget=budget, policies=policies,
+                            targets=targets)
     iterations = budget // len(policies)
     result.iterations = iterations
     minimized_failures: set[tuple[str, str]] = set()
 
     for batch_start in _chunks(range(iterations), BATCH_PROGRAMS):
-        cases = [generate_case(seed, iteration) for iteration in batch_start]
+        cases = [
+            generate_case(seed, iteration, profile)
+            for iteration in batch_start
+        ]
         runs = [
             (test, policy, schedule)
             for test, schedule in cases
@@ -183,6 +207,12 @@ def run_campaign(
                     emit(f"[fuzz] corpus += {entry.describe()}")
         if not fault_mode:
             state.save(coverage_path)
+
+    if targets:
+        covered = set()
+        for policy in policies:
+            covered |= state.policy_hits(policy)
+        result.targets_hit = [t for t in targets if t in covered]
 
     report_text, report_data = coverage_report(state, policies)
     result.report_text = report_text

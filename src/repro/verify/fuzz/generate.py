@@ -16,10 +16,21 @@ never generated would drown the campaign in ``spin_timeout`` noise.
 Layout placement mirrors the hand-written suite's three interesting
 shapes: fresh contiguous lines, same-line words (false sharing), and
 ``L2_CONFLICT_STRIDE``-apart lines (same L2 set, forcing evictions).
+
+A :class:`FuzzProfile` parameterizes the op-kind weights and the
+tiny-directory schedule chance.  The default profile emits ``flush``
+ops (conflict-load eviction pressure — the only way to reach the
+``Evict``/``Vic*`` protocol rows from a litmus program) and occasionally
+shrinks the directory cache (``Schedule.dir_entries``), which is what
+drives the directory's ``B*``-state replacement transients.
+:func:`profile_for_targets` biases a profile toward a set of
+``(table, state, event)`` rows for directed campaigns
+(``repro fuzz run --target``).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import random
 
 from repro.mem.address import WORDS_PER_LINE
@@ -30,6 +41,90 @@ from repro.verify.litmus.schedule import SCHEDULE_VARIANTS, Schedule
 #: atomic RMW kinds the generator draws from (CAS compares against the
 #: interpreter's default 0, which is still a legal, racy RMW)
 ATOMIC_OPS = ("add", "inc", "exch", "cas", "max", "min", "and", "or")
+
+#: op-kind vocabularies, index-aligned with the profile weight tuples
+CPU_KINDS = ("store", "load", "atomic", "think", "flush")
+GPU_KINDS = ("store", "load", "atomic", "vstore", "vload",
+             "acq", "rel", "think", "flush")
+
+
+@dataclasses.dataclass(frozen=True)
+class FuzzProfile:
+    """Generator bias knobs: op-kind weights plus schedule shaping.
+
+    Weights are index-aligned with :data:`CPU_KINDS` / :data:`GPU_KINDS`.
+    ``tiny_dir_chance`` is the probability a generated schedule carries a
+    ``dir_entries`` override drawn from ``tiny_dir_entries``, shrinking
+    the directory cache so entry replacement (``DirEvict`` / ``B*``
+    transients) happens under ordinary traffic.
+    """
+
+    name: str = "default"
+    cpu_weights: tuple[int, ...] = (4, 3, 2, 1, 1)
+    gpu_weights: tuple[int, ...] = (3, 3, 2, 2, 2, 1, 1, 1, 1)
+    tiny_dir_chance: float = 0.15
+    tiny_dir_entries: tuple[int, ...] = (8, 16)
+
+    def __post_init__(self) -> None:
+        if len(self.cpu_weights) != len(CPU_KINDS):
+            raise ValueError(f"cpu_weights needs {len(CPU_KINDS)} entries")
+        if len(self.gpu_weights) != len(GPU_KINDS):
+            raise ValueError(f"gpu_weights needs {len(GPU_KINDS)} entries")
+        if not 0.0 <= self.tiny_dir_chance <= 1.0:
+            raise ValueError("tiny_dir_chance must be a probability")
+
+
+DEFAULT_PROFILE = FuzzProfile()
+
+#: event names whose rows need eviction pressure (flush ops) to fire
+_EVICTION_EVENTS = frozenset(
+    {"Evict", "EvictDone", "VicClean", "VicDirty", "WBAck"}
+)
+#: directory states/events that only appear while a directory-cache
+#: entry is being replaced or refilled — tiny directories force them
+_DIR_PRESSURE_EVENTS = frozenset({"DirEvict", "MemData", "LlcData"})
+
+
+def profile_for_targets(targets) -> FuzzProfile:
+    """Bias a profile toward a set of ``(table, state, event)`` rows.
+
+    Purely heuristic: each target nudges the knob that makes its row
+    family reachable more often (flush weight for eviction rows, tiny
+    directories for ``B*``/``U`` transients, GPU release fences for the
+    directory ``Flush`` event).  The result is deterministic in the
+    target list, so a directed campaign is as replayable as a default
+    one.
+    """
+    targets = [tuple(target) for target in targets]
+    if not targets:
+        return DEFAULT_PROFILE
+    cpu = list(DEFAULT_PROFILE.cpu_weights)
+    gpu = list(DEFAULT_PROFILE.gpu_weights)
+    tiny_dir_chance = DEFAULT_PROFILE.tiny_dir_chance
+    for table, state, event in targets:
+        if (state.startswith(("B", "U"))
+                or event in _DIR_PRESSURE_EVENTS
+                or event == "RdBlkS"):
+            # B*/U transients and DirEvict need directory-entry
+            # replacement mid-flight; RdBlkS rows beyond I need a code
+            # line's entry evicted and refetched
+            tiny_dir_chance = max(tiny_dir_chance, 0.7)
+        if event in _EVICTION_EVENTS or event.startswith("Prb"):
+            cpu[CPU_KINDS.index("flush")] += 4
+            gpu[GPU_KINDS.index("flush")] += 2
+        if table.startswith("tcc"):
+            gpu[GPU_KINDS.index("flush")] += 3
+            gpu[GPU_KINDS.index("rel")] += 2
+        if event == "Flush":
+            # the directory Flush event is the GPU release fence's
+            # per-bank broadcast
+            gpu[GPU_KINDS.index("rel")] += 4
+    return FuzzProfile(
+        name="directed",
+        cpu_weights=tuple(cpu),
+        gpu_weights=tuple(gpu),
+        tiny_dir_chance=tiny_dir_chance,
+    )
 
 #: generator bounds — small programs shrink fast and still reach the
 #: interesting protocol rows via placement + schedule perturbation
@@ -72,10 +167,9 @@ def _make_layout(rng: random.Random) -> dict[str, tuple[int, int]]:
     return layout
 
 
-def _cpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
-    kind = rng.choices(
-        ("store", "load", "atomic", "think"), weights=(4, 3, 2, 1)
-    )[0]
+def _cpu_op(rng: random.Random, locs: list[str], index: int,
+            profile: FuzzProfile) -> tuple:
+    kind = rng.choices(CPU_KINDS, weights=profile.cpu_weights)[0]
     if kind == "store":
         return ("store", rng.choice(locs), rng.randint(1, MAX_VALUE))
     if kind == "load":
@@ -83,14 +177,14 @@ def _cpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
     if kind == "atomic":
         return ("atomic", rng.choice(locs), rng.choice(ATOMIC_OPS),
                 rng.randint(1, 7), f"a{index}")
+    if kind == "flush":
+        return ("flush", rng.choice(locs))
     return ("think", rng.randint(1, 200))
 
 
-def _gpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
-    kind = rng.choices(
-        ("store", "load", "atomic", "vstore", "vload", "acq", "rel", "think"),
-        weights=(3, 3, 2, 2, 2, 1, 1, 1),
-    )[0]
+def _gpu_op(rng: random.Random, locs: list[str], index: int,
+            profile: FuzzProfile) -> tuple:
+    kind = rng.choices(GPU_KINDS, weights=profile.gpu_weights)[0]
     if kind == "store":
         return ("store", rng.choice(locs), rng.randint(1, MAX_VALUE))
     if kind == "load":
@@ -108,6 +202,8 @@ def _gpu_op(rng: random.Random, locs: list[str], index: int) -> tuple:
         return ("acq",)
     if kind == "rel":
         return ("rel",)
+    if kind == "flush":
+        return ("flush", rng.choice(locs))
     return ("think", rng.randint(1, 200))
 
 
@@ -129,27 +225,42 @@ def _make_dma(rng: random.Random,
     return specs
 
 
-def generate_schedule(rng: random.Random) -> Schedule:
+def generate_schedule(rng: random.Random,
+                      profile: FuzzProfile = DEFAULT_PROFILE) -> Schedule:
     """Canonical ~1/4 of the time, otherwise a random rotation variant
-    under a random schedule seed."""
+    under a random schedule seed; a ``tiny_dir_chance`` roll then layers
+    a shrunken directory cache on top of either shape."""
     if rng.random() < 0.25:
-        return Schedule(0)
-    variant = rng.choice(SCHEDULE_VARIANTS)
-    return variant.schedule(rng.randint(1, 10_000))
+        schedule = Schedule(0)
+    else:
+        variant = rng.choice(SCHEDULE_VARIANTS)
+        schedule = variant.schedule(rng.randint(1, 10_000))
+    # the roll is unconditional so the rng draw count — and therefore the
+    # rest of the case stream — is identical across profiles
+    roll = rng.random()
+    entries = rng.choice(profile.tiny_dir_entries)
+    if roll < profile.tiny_dir_chance:
+        schedule = dataclasses.replace(schedule, dir_entries=entries)
+    return schedule
 
 
-def generate_case(seed: int, iteration: int) -> tuple[LitmusTest, Schedule]:
+def generate_case(
+    seed: int, iteration: int, profile: FuzzProfile | None = None
+) -> tuple[LitmusTest, Schedule]:
     """One deterministic ``(litmus, schedule)`` pair for a campaign slot."""
+    profile = profile or DEFAULT_PROFILE
     rng = _rng(seed, iteration)
     layout = _make_layout(rng)
     locs = sorted(layout)
 
     threads = [
-        [_cpu_op(rng, locs, op) for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
+        [_cpu_op(rng, locs, op, profile)
+         for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
         for _ in range(rng.randint(1, MAX_THREADS))
     ]
     gpu_waves = [
-        [_gpu_op(rng, locs, op) for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
+        [_gpu_op(rng, locs, op, profile)
+         for op in range(rng.randint(1, MAX_OPS_PER_AGENT))]
         for _ in range(rng.randint(0, MAX_WAVES))
     ]
     dma = _make_dma(rng, layout)
@@ -169,4 +280,4 @@ def generate_case(seed: int, iteration: int) -> tuple[LitmusTest, Schedule]:
         postcondition=None,
     )
     test.validate()
-    return test, generate_schedule(rng)
+    return test, generate_schedule(rng, profile)

@@ -45,6 +45,7 @@ from repro.verify.litmus.schedule import (
     SCHEDULE_VARIANTS,
     Schedule,
     ScheduleVariant,
+    bounded_schedules,
     default_schedules,
     variant_of,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "SCHEDULE_VARIANTS",
     "Schedule",
     "ScheduleVariant",
+    "bounded_schedules",
     "SpinTimeout",
     "all_litmus_tests",
     "default_schedules",

@@ -23,6 +23,11 @@ Op vocabulary (``loc`` is a symbolic location name from the layout):
 ``("vstore", [locs], value)``   GPU: coalesced vector store (broadcast)
 ``("vload", [locs], reg)``      GPU: vector load; tuple lands in ``reg``
 ``("acq",)`` / ``("rel",)``     GPU: acquire / release fence
+``("flush", loc)``              evict ``loc``'s line from the issuing
+                                agent's caches by loading a hidden run of
+                                same-set lines (conflict eviction — the
+                                model has no flush instruction), forcing
+                                Evict/victim traffic on that line
 ==============================  ==========================================
 
 Locations map to ``(line, word)`` pairs through the test's ``layout``;
@@ -39,6 +44,7 @@ from typing import Callable, Generator
 from repro.mem.address import LINE_BYTES, WORDS_PER_LINE, make_addr
 from repro.mem.block import ZERO_LINE
 from repro.protocol.atomics import AtomicOp
+from repro.system.config import SystemConfig
 from repro.workloads import trace as ops
 from repro.workloads.base import (
     AddressSpace,
@@ -50,12 +56,24 @@ from repro.workloads.base import (
 from repro.workloads.trace import DmaTransfer
 
 #: ops legal on a CPU thread
-CPU_OPS = frozenset({"store", "load", "atomic", "spin", "spin_ge", "think"})
+CPU_OPS = frozenset(
+    {"store", "load", "atomic", "spin", "spin_ge", "think", "flush"}
+)
 #: ops legal on a GPU wavefront
 GPU_OPS = frozenset(
     {"store", "load", "atomic", "spin", "spin_ge", "think", "vstore",
-     "vload", "acq", "rel"}
+     "vload", "acq", "rel", "flush"}
 )
+
+#: lines this many apart share an L2 set in the litmus system — the lever
+#: for forcing evictions (VicDirty/VicClean races).  The small TCC's set
+#: count divides this, so the same stride conflicts in the GPU hierarchy.
+_SMALL_L2 = SystemConfig.small().l2
+L2_CONFLICT_STRIDE = max(
+    1, _SMALL_L2.size_bytes // LINE_BYTES // _SMALL_L2.assoc
+)
+#: stores needed to overflow one L2 set (associativity + 1 lines)
+L2_WAYS = _SMALL_L2.assoc
 #: backoff between polling loads, CPU spins and GPU spin loops alike
 SPIN_BACKOFF_CYCLES = 50
 #: polling-loop backstop so a shrunk-away flag store cannot livelock a run
@@ -236,7 +254,7 @@ class LitmusTest:
 def _op_locs(op: tuple) -> list[str]:
     """Symbolic locations an op references."""
     kind = op[0]
-    if kind in ("store", "load", "atomic", "spin", "spin_ge"):
+    if kind in ("store", "load", "atomic", "spin", "spin_ge", "flush"):
         return [op[1]]
     if kind in ("vstore", "vload"):
         return list(op[1])
@@ -265,6 +283,8 @@ class CompiledLitmus(Workload):
         self.description = test.description
         self.regs: dict[str, int] = {}
         self._addrs: dict[str, int] = {}
+        #: layout line index -> hidden conflict-run addresses (flush ops)
+        self._flush_addrs: dict[int, list[int]] = {}
 
     def addr_of(self, loc: str) -> int:
         """Byte address of a symbolic location (valid after build())."""
@@ -284,6 +304,28 @@ class CompiledLitmus(Workload):
             for loc, (line, word) in test.layout.items()
         }
         code = code_region(space)
+
+        # Flush ops evict by conflict: each distinct target line gets a
+        # hidden region of (L2_WAYS + 1) same-set lines (stride-apart), so
+        # loading the run displaces the target from every level.  Existing
+        # tests without flush ops allocate nothing — their address maps
+        # are unchanged.
+        flush_lines = sorted({
+            test.layout[op[1]][0]
+            for _agent, script in test.agents()
+            for op in script if op[0] == "flush"
+        })
+        self._flush_addrs = {}
+        for target_line in flush_lines:
+            region = space.lines((L2_WAYS + 1) * L2_CONFLICT_STRIDE)
+            region_line = region // LINE_BYTES
+            start = region_line + (
+                (base_line + target_line - region_line) % L2_CONFLICT_STRIDE
+            )
+            self._flush_addrs[target_line] = [
+                make_addr(start + way * L2_CONFLICT_STRIDE, 0)
+                for way in range(L2_WAYS + 1)
+            ]
 
         initial_memory = {}
         for loc, value in test.init.items():
@@ -346,6 +388,8 @@ class CompiledLitmus(Workload):
     def _interpreter(self, agent: str, script: list[tuple], gpu: bool):
         addrs = self._addrs
         regs = self.regs
+        test = self.test
+        flush_addrs = self._flush_addrs
 
         def program() -> Generator:
             for op in script:
@@ -377,6 +421,9 @@ class CompiledLitmus(Workload):
                     if not isinstance(values, tuple):
                         values = (values,)
                     regs[f"{agent}:{op[2]}"] = values
+                elif kind == "flush":
+                    for hidden in flush_addrs[test.layout[op[1]][0]]:
+                        yield ops.Load(hidden)
                 elif kind == "acq":
                     yield ops.AcquireFence()
                 elif kind == "rel":

@@ -105,9 +105,22 @@ def _classify_exception(exc: BaseException) -> str:
     return "crash"
 
 
-def litmus_config(policy: DirectoryPolicy) -> SystemConfig:
+def litmus_config(policy: DirectoryPolicy,
+                  schedule: Schedule | None = None) -> SystemConfig:
     """The system every litmus runs on: the scaled-down test config whose
-    small caches make evictions (and their races) reachable in a few ops."""
+    small caches make evictions (and their races) reachable in a few ops.
+
+    A schedule's ``dir_entries`` knob is folded into the policy here —
+    directory geometry is baked in at build time, so it cannot be applied
+    post-build like the other schedule perturbations.  Tiny directories
+    force directory-cache replacement (the B-state eviction transients)
+    under otherwise ordinary litmus traffic.
+    """
+    if schedule is not None and schedule.dir_entries:
+        policy = policy.named(
+            dir_entries=schedule.dir_entries,
+            dir_assoc=min(policy.dir_assoc, schedule.dir_entries),
+        )
     return SystemConfig.small(policy=policy)
 
 
@@ -258,7 +271,7 @@ def _run_litmus_live(
     mutate_system: Callable[[object], None] | None,
     coverage: bool = False,
 ) -> LitmusOutcome:
-    system = build_system(litmus_config(policy))
+    system = build_system(litmus_config(policy, schedule))
     schedule.apply(system)
     if mutate_system is not None:
         mutate_system(system)

@@ -21,18 +21,13 @@ shares an L2.  An empty op list is a valid placeholder thread.
 
 from __future__ import annotations
 
-from repro.mem.address import LINE_BYTES
-from repro.system.config import SystemConfig
-from repro.verify.litmus.dsl import DmaSpec, LitmusEnv, LitmusTest
-
-#: lines this many apart share an L2 set in the litmus system — the lever
-#: for forcing evictions (VicDirty/VicClean races)
-_SMALL_L2 = SystemConfig.small().l2
-L2_CONFLICT_STRIDE = max(
-    1, _SMALL_L2.size_bytes // LINE_BYTES // _SMALL_L2.assoc
+from repro.verify.litmus.dsl import (  # noqa: F401 - re-exported geometry
+    L2_CONFLICT_STRIDE,
+    L2_WAYS,
+    DmaSpec,
+    LitmusEnv,
+    LitmusTest,
 )
-#: stores needed to overflow one L2 set (associativity + 1 lines)
-L2_WAYS = _SMALL_L2.assoc
 
 REGISTRY: dict[str, LitmusTest] = {}
 
@@ -462,6 +457,110 @@ _register(LitmusTest(
         [("vstore", ["w0", "w1", "w2", "w3"], 11), ("rel",)],
     ],
     postcondition=_post_gpu_wt_race,
+))
+
+
+# -- back-pressure shapes ------------------------------------------------------
+#
+# These target the bounded-queue fabric (Schedule.input_queue_depth /
+# SystemConfig.bounded): bursts sized past the default credit pool so the
+# directory in-ports fill and back-pressure stalls the sending ports.  On
+# an unbounded fabric they are ordinary (if chatty) tests — finals stay
+# deterministic either way, so the differential sweep runs them under
+# every schedule shape, bounded included.
+
+
+def _post_bp_store_store(env: LitmusEnv) -> list[str]:
+    for k in range(6):
+        env.expect_mem(f"s{k}", k + 1)
+        env.expect_mem(f"t{k}", k + 11)
+    for k in range(4):
+        env.expect_mem(f"g{k}", k + 31)
+    return env.errors
+
+
+_register(LitmusTest(
+    name="bp_store_store",
+    description="store/store burst from both CorePairs plus pipelined GPU "
+                "write-throughs, all to distinct lines: fills a bounded "
+                "directory in-port queue from three senders at once, "
+                "exhausting credits on each",
+    layout={
+        **{f"s{k}": (k, 0) for k in range(6)},
+        **{f"t{k}": (6 + k, 0) for k in range(6)},
+        **{f"g{k}": (12 + k, 0) for k in range(4)},
+    },
+    threads=[
+        [("store", f"s{k}", k + 1) for k in range(6)],
+        [],
+        [("store", f"t{k}", k + 11) for k in range(6)],
+    ],
+    gpu_waves=[
+        [("store", f"g{k}", k + 31) for k in range(4)] + [("rel",)],
+    ],
+    postcondition=_post_bp_store_store,
+))
+
+
+def _post_bp_victim(env: LitmusEnv) -> list[str]:
+    env.expect_mem("v", 1)
+    for k, loc in enumerate(sorted(_CONFLICTS)):
+        env.expect_mem(loc, k + 1)
+    for k in range(4):
+        env.expect_mem(f"f{k}", k + 21)
+        env.expect_mem(f"w{k}", k + 41)
+    return env.errors
+
+
+_register(LitmusTest(
+    name="bp_victim_vs_full_port",
+    description="dirty victim writeback (conflict-set walk evicting a "
+                "dirty line) races a store burst from the other pair that "
+                "keeps the directory in-port full: the VicDirty must wait "
+                "for a credit, not be dropped",
+    layout={
+        "v": (0, 0),
+        **_CONFLICTS,
+        **{f"f{k}": (1 + k, 0) for k in range(4)},
+        **{f"w{k}": (5 + k, 0) for k in range(4)},
+    },
+    threads=[
+        [("store", "v", 1)] + list(_CONFLICT_STORES),
+        [],
+        [("store", f"f{k}", k + 21) for k in range(4)],
+    ],
+    gpu_waves=[
+        [("store", f"w{k}", k + 41) for k in range(4)] + [("rel",)],
+    ],
+    postcondition=_post_bp_victim,
+))
+
+
+def _post_bp_dma_burst(env: LitmusEnv) -> list[str]:
+    for k in range(4):
+        env.expect_mem(f"d{k}", 33)
+    env.expect_mem("g", 21)
+    env.expect_reg_in("t0:r", {0, 33})
+    return env.errors
+
+
+_register(LitmusTest(
+    name="bp_dma_burst",
+    description="4-line DMA write burst saturates a bounded link while a "
+                "GPU write-through and a CPU poll share the fabric; the "
+                "poller observes the last burst line",
+    layout={
+        **{f"d{k}": (k, 0) for k in range(4)},
+        "g": (4, 0),
+    },
+    threads=[
+        [("spin", "d3", 33), ("load", "d0", "r")],
+    ],
+    gpu_waves=[
+        [("store", "g", 21), ("rel",)],
+    ],
+    dma=[DmaSpec("write", "d0", lines=4, value=33)],
+    postcondition=_post_bp_dma_burst,
 ))
 
 

@@ -14,7 +14,13 @@ Ruby-random-tester lineage replays each test under *many* interleavings.  A
 - **link bandwidth** — finite-bandwidth link serialization plus WRR input
   arbitration at the directory (:meth:`Network.set_link_bandwidth`), so
   bursts queue instead of overlapping — a whole family of interleavings
-  (back-pressure reordering) latency jitter alone cannot reach.
+  (back-pressure reordering) latency jitter alone cannot reach;
+- **bounded queues** — finite input-port queues with credit back-pressure
+  on top of the finite-bandwidth fabric
+  (:meth:`Network.set_flow_control`), so a full downstream port stalls
+  its senders' output ports and transitively the components behind them;
+  combined with a **watchdog window** that arms the deadlock/starvation
+  watchdog, every explored interleaving doubles as a liveness proof.
 
 All perturbations stay inside the simulator's legal behaviours (latency and
 bandwidth are free parameters; tie order among simultaneous events is
@@ -27,7 +33,7 @@ under.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
@@ -38,6 +44,9 @@ class Schedule:
     jitter_cycles: int = 0       #: max extra fabric latency per kind pair
     tie_break: bool = False      #: permute same-tick event order
     link_bytes_per_cycle: int = 0  #: finite link bandwidth (0 = infinite)
+    input_queue_depth: int = 0   #: bounded input ports + credit back-pressure
+    watchdog_window_cycles: float = 0.0  #: arm the liveness watchdog
+    dir_entries: int = 0         #: shrink the directory cache (0 = leave)
 
     @property
     def is_canonical(self) -> bool:
@@ -45,6 +54,9 @@ class Schedule:
             not self.jitter_cycles
             and not self.tie_break
             and not self.link_bytes_per_cycle
+            and not self.input_queue_depth
+            and not self.watchdog_window_cycles
+            and not self.dir_entries
         )
 
     def apply(self, system) -> None:
@@ -52,16 +64,23 @@ class Schedule:
 
         Must run before any workload starts (routes are precomputed, ports
         must start empty, and the tie-break only affects newly scheduled
-        events).
+        events).  ``dir_entries`` is the exception: directory geometry is
+        baked in at build time, so the harness folds it into the policy
+        *before* :func:`~repro.system.builder.build_system` — ``apply``
+        deliberately ignores it.
         """
         if self.link_bytes_per_cycle:
             system.network.set_link_bandwidth(self.link_bytes_per_cycle)
+        if self.input_queue_depth:
+            system.network.set_flow_control(self.input_queue_depth)
         if self.jitter_cycles:
             system.network.jitter_latencies(
                 random.Random(self.seed * 2 + 1), self.jitter_cycles
             )
         if self.tie_break:
             system.sim.events.set_tie_break(random.Random(self.seed * 2))
+        if self.watchdog_window_cycles:
+            system.arm_watchdog(self.watchdog_window_cycles)
 
     def label(self) -> str:
         if self.is_canonical:
@@ -73,18 +92,31 @@ class Schedule:
             knobs.append("tie")
         if self.link_bytes_per_cycle:
             knobs.append(f"bw{self.link_bytes_per_cycle}")
+        if self.input_queue_depth:
+            knobs.append(f"q{self.input_queue_depth}")
+        if self.watchdog_window_cycles:
+            knobs.append("wd")
+        if self.dir_entries:
+            knobs.append(f"dir{self.dir_entries}")
         return f"s{self.seed}:" + "+".join(knobs)
 
     def to_json(self) -> dict:
         return {"seed": self.seed, "jitter_cycles": self.jitter_cycles,
                 "tie_break": self.tie_break,
-                "link_bytes_per_cycle": self.link_bytes_per_cycle}
+                "link_bytes_per_cycle": self.link_bytes_per_cycle,
+                "input_queue_depth": self.input_queue_depth,
+                "watchdog_window_cycles": self.watchdog_window_cycles,
+                "dir_entries": self.dir_entries}
 
     @classmethod
     def from_json(cls, data: dict) -> "Schedule":
         data = dict(data)
-        # schedules saved before the bandwidth knob existed load unchanged
+        # schedules saved before the bandwidth / flow-control / tiny-dir
+        # knobs existed load unchanged
         data.setdefault("link_bytes_per_cycle", 0)
+        data.setdefault("input_queue_depth", 0)
+        data.setdefault("watchdog_window_cycles", 0.0)
+        data.setdefault("dir_entries", 0)
         return cls(**data)
 
 
@@ -95,6 +127,14 @@ DEFAULT_JITTER_CYCLES = 4
 #: matching ``SystemConfig.CONTENDED_KNOBS``)
 DEFAULT_SCHEDULE_BANDWIDTH = 8
 
+#: input-port queue depth used by bounded exploration schedules (matching
+#: ``SystemConfig.BOUNDED_KNOBS``)
+DEFAULT_SCHEDULE_QUEUE_DEPTH = 4
+
+#: watchdog window for bounded exploration schedules (uncore cycles) —
+#: generous next to litmus runtimes, so a trip means a genuine stall
+DEFAULT_SCHEDULE_WATCHDOG_CYCLES = 100_000.0
+
 
 @dataclass(frozen=True)
 class ScheduleVariant:
@@ -104,6 +144,7 @@ class ScheduleVariant:
     jitter: bool            #: apply per-kind-pair latency jitter
     tie_break: bool         #: permute same-tick event order
     contended: bool         #: finite link bandwidth + WRR arbitration
+    bounded: bool = False   #: bounded input queues + armed watchdog
 
     def schedule(self, seed: int,
                  jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> Schedule:
@@ -114,19 +155,28 @@ class ScheduleVariant:
             link_bytes_per_cycle=(
                 DEFAULT_SCHEDULE_BANDWIDTH if self.contended else 0
             ),
+            input_queue_depth=(
+                DEFAULT_SCHEDULE_QUEUE_DEPTH if self.bounded else 0
+            ),
+            watchdog_window_cycles=(
+                DEFAULT_SCHEDULE_WATCHDOG_CYCLES if self.bounded else 0.0
+            ),
         )
 
 
 #: the exploration rotation, indexed by ``seed % len(SCHEDULE_VARIANTS)``.
 #: Order is load-bearing: seed 1 lands on index 1 (jitter-only), seed 2 on
-#: index 2 (tie-only), seed 3 on index 3 (contended), seed 4 wraps to
-#: index 0 (jitter+tie) — the same schedules stored litmus results were
-#: keyed under before the rotation had names.
+#: index 2 (tie-only), seed 3 on index 3 (contended), seed 4 on index 4
+#: (bounded fabric + watchdog), seed 5 wraps to index 0 (jitter+tie).
+#: ``litmus_key`` folds the source digest into every stored result key, so
+#: growing the rotation safely invalidates stale stored outcomes.
 SCHEDULE_VARIANTS: tuple[ScheduleVariant, ...] = (
     ScheduleVariant("jitter+tie", jitter=True, tie_break=True, contended=False),
     ScheduleVariant("jitter", jitter=True, tie_break=False, contended=False),
     ScheduleVariant("tie", jitter=False, tie_break=True, contended=False),
     ScheduleVariant("tie+contended", jitter=False, tie_break=True, contended=True),
+    ScheduleVariant("tie+bounded", jitter=False, tie_break=True, contended=True,
+                    bounded=True),
 )
 
 
@@ -139,7 +189,7 @@ def default_schedules(count: int = 8,
                       jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> list[Schedule]:
     """The standard exploration set: the canonical schedule plus the
     :data:`SCHEDULE_VARIANTS` rotation (jitter+tie, jitter-only, tie-only,
-    contended fabric).
+    contended fabric, bounded fabric with watchdog).
 
     Distinct seeds land on distinct schedules, so ``count`` is also the
     number of genuinely different interleavings attempted (>= 8 in CI).
@@ -149,4 +199,30 @@ def default_schedules(count: int = 8,
     schedules = [Schedule(0)]
     for seed in range(1, count):
         schedules.append(variant_of(seed).schedule(seed, jitter_cycles))
+    return schedules
+
+
+def bounded_schedules(count: int = 8,
+                      jitter_cycles: int = DEFAULT_JITTER_CYCLES) -> list[Schedule]:
+    """The watchdog sweep set: the rotation's perturbation shapes, but
+    every schedule forced onto the bounded fabric with the watchdog armed.
+
+    Seeds still land on distinct jitter/tie-break combinations, so the
+    sweep explores the same interleavings as :func:`default_schedules` —
+    only now every run is also a liveness proof: a credit cycle that
+    never drains trips the watchdog instead of passing silently on an
+    unbounded queue.
+    """
+    if count < 1:
+        raise ValueError("need at least one schedule")
+    schedules = []
+    for seed in range(count):
+        base = variant_of(seed)
+        variant = replace(
+            base,
+            name=base.name if base.bounded else f"{base.name}+bounded",
+            contended=True,
+            bounded=True,
+        )
+        schedules.append(variant.schedule(seed, jitter_cycles))
     return schedules

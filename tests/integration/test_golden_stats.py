@@ -50,11 +50,23 @@ CONTENDED_CELLS = [
     ("cedd", "baseline"),
     ("tq", "sharers"),
 ]
+#: cells pinned on the bounded fabric (``SystemConfig.bounded``): credit
+#: back-pressure, TCC arbitration, FR-FCFS bounded memory, armed watchdog
+BOUNDED_PATH = pathlib.Path(__file__).parent / "golden_bounded_stats.json"
+BOUNDED_CELLS = [
+    ("cedd", "baseline"),
+    ("tq", "sharers"),
+]
+
+FACTORIES = {
+    "benchmark": SystemConfig.benchmark,
+    "contended": SystemConfig.contended,
+    "bounded": SystemConfig.bounded,
+}
 
 
-def _run_cell(workload: str, policy: str, contended: bool = False) -> dict:
-    factory = SystemConfig.contended if contended else SystemConfig.benchmark
-    system = build_system(factory(policy=PRESETS[policy]))
+def _run_cell(workload: str, policy: str, fabric: str = "benchmark") -> dict:
+    system = build_system(FACTORIES[fabric](policy=PRESETS[policy]))
     result = system.run_workload(
         get_workload(workload), seed=GOLDEN_SEED, scale=GOLDEN_SCALE
     )
@@ -81,6 +93,11 @@ def golden() -> dict:
 @pytest.fixture(scope="module")
 def contended_golden() -> dict:
     return json.loads(CONTENDED_GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def bounded_golden() -> dict:
+    return json.loads(BOUNDED_PATH.read_text())
 
 
 def _assert_matches(expected: dict, actual: dict) -> None:
@@ -116,7 +133,16 @@ def test_cell_is_bit_identical_to_golden_snapshot(golden, workload, policy):
 def test_contended_cell_is_bit_identical(contended_golden, workload, policy):
     _assert_matches(
         contended_golden[f"{workload}/{policy}"],
-        _run_cell(workload, policy, contended=True),
+        _run_cell(workload, policy, fabric="contended"),
+    )
+
+
+@pytest.mark.parametrize("workload,policy", BOUNDED_CELLS,
+                         ids=[f"{w}-{p}-bounded" for w, p in BOUNDED_CELLS])
+def test_bounded_cell_is_bit_identical(bounded_golden, workload, policy):
+    _assert_matches(
+        bounded_golden[f"{workload}/{policy}"],
+        _run_cell(workload, policy, fabric="bounded"),
     )
 
 
@@ -129,6 +155,21 @@ def test_contended_snapshot_exposes_contention_counters(contended_golden):
     assert any(key.startswith("network.ports.") for key in stats)
 
 
+def test_bounded_snapshot_exposes_flow_control_counters(bounded_golden):
+    """The pinned bounded cells must actually hit the flow-control paths:
+    credit stalls on at least one output port, occupancy accumulation at
+    an arbitrated input port, and zero watchdog trips."""
+    for cell, payload in bounded_golden.items():
+        stats = payload["stats"]
+        assert sum(
+            v for k, v in stats.items() if k.endswith(".credit_blocks")
+        ) > 0, f"{cell}: no credit stall ever happened"
+        assert any(
+            k.endswith(".occupancy_ticks") and v > 0 for k, v in stats.items()
+        ), f"{cell}: no input-port occupancy recorded"
+        assert stats.get("watchdog.trips", 0) == 0, f"{cell}: watchdog tripped"
+
+
 def test_every_policy_preset_has_a_golden_cell():
     assert {policy for _w, policy in CELLS} == set(PRESETS)
 
@@ -138,12 +179,20 @@ def _regenerate() -> None:  # pragma: no cover - manual tool
     GOLDEN_PATH.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
     print(f"rewrote {GOLDEN_PATH}")
     contended = {
-        f"{w}/{p}": _run_cell(w, p, contended=True) for w, p in CONTENDED_CELLS
+        f"{w}/{p}": _run_cell(w, p, fabric="contended")
+        for w, p in CONTENDED_CELLS
     }
     CONTENDED_GOLDEN_PATH.write_text(
         json.dumps(contended, indent=1, sort_keys=True) + "\n"
     )
     print(f"rewrote {CONTENDED_GOLDEN_PATH}")
+    bounded = {
+        f"{w}/{p}": _run_cell(w, p, fabric="bounded") for w, p in BOUNDED_CELLS
+    }
+    BOUNDED_PATH.write_text(
+        json.dumps(bounded, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"rewrote {BOUNDED_PATH}")
 
 
 if __name__ == "__main__":  # pragma: no cover

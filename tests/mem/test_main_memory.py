@@ -14,12 +14,13 @@ def make_memory(sim, clock, latency=100, gap=10):
 
 
 def make_banked(sim, clock, latency=100, gap=10, banks=2, row_bytes=0,
-                row_hit=None, row_miss=None, weights=None):
+                row_hit=None, row_miss=None, weights=None,
+                queue_depth=0, scheduler="fifo"):
     return MainMemory(
         sim, clock, latency_cycles=latency, gap_cycles=gap,
         num_banks=banks, row_bytes=row_bytes,
         row_hit_latency_cycles=row_hit, row_miss_latency_cycles=row_miss,
-        arb_weights=weights,
+        arb_weights=weights, queue_depth=queue_depth, scheduler=scheduler,
     )
 
 
@@ -318,3 +319,130 @@ class TestBankedMemory:
         sim.run()
         assert done == [10_000]
         assert "classes" not in memory.stats.as_dict()
+
+
+class TestBoundedBanks:
+    """``queue_depth`` — bounded per-bank queues with overflow accounting
+    and the stall callback the directory uses for back-pressure.
+
+    The admitted depth counts *queued* accesses only: a bank grants its
+    first access immediately, so with ``queue_depth = d`` it takes
+    ``d + 2`` concurrent same-bank accesses to spill one."""
+
+    def test_overflow_counts_spills_past_the_bound(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2, queue_depth=2)
+        for i in range(3):
+            memory.read(i * 0x80, lambda _d: None)  # all bank 0
+        sim.run()
+        assert memory.stats.as_dict().get("queue_overflows", 0) == 0
+        memory2 = make_banked(sim, clock, banks=2, queue_depth=2)
+        for i in range(4):
+            memory2.read(i * 0x80, lambda _d: None)
+        sim.run()
+        assert memory2.stats["queue_overflows"] == 1
+
+    def test_spilled_access_still_completes(self, sim, clock):
+        memory = make_banked(sim, clock, latency=100, gap=10,
+                             banks=2, queue_depth=1)
+        done = []
+        for i in range(3):
+            memory.read(i * 0x80, lambda _d: done.append(sim.now))
+        sim.run()
+        # grants at 0 / 10 / 20 cycles: the spilled access is promoted
+        # into the bank queue as soon as the second grant frees a slot
+        assert done == [100_000, 110_000, 120_000]
+        assert memory.stats["queue_overflows"] == 1
+        # back-pressure was asserted from the spill (t=0) to the grant
+        # that drained the overflow FIFO (t=10 cycles)
+        assert memory.stats["stalled_ticks"] == 10_000
+
+    def test_stall_callback_fires_once_per_episode(self, sim, clock):
+        memory = make_banked(sim, clock, latency=100, gap=10,
+                             banks=2, queue_depth=1)
+        events = []
+        memory.set_stall_callback(events.append)
+        for i in range(5):
+            memory.read(i * 0x80, lambda _d: None)
+        sim.run()
+        # three spills, but one stall episode: True on the first spill,
+        # False when the last spilled access is promoted
+        assert memory.stats["queue_overflows"] == 3
+        assert events == [True, False]
+        assert memory.stats["stalled_ticks"] == 30_000
+
+    def test_blocked_snapshot_reflects_the_stall_window(self, sim, clock):
+        memory = make_banked(sim, clock, banks=2, queue_depth=1)
+        for i in range(3):
+            memory.read(i * 0x80, lambda _d: None)
+        # the third access spilled at tick 0; the watchdog's starvation
+        # probe must see the stall start until the overflow drains
+        assert memory.blocked_snapshot() == {"overflow": 0}
+        assert "spilled" in memory.describe_queues()
+        sim.run()
+        assert memory.blocked_snapshot() == {}
+        assert memory.describe_queues() == ""
+
+    def test_bounded_queues_need_the_banked_controller(self, sim, clock):
+        with pytest.raises(SimulationError, match="banked controller"):
+            MainMemory(sim, clock, queue_depth=4)
+
+    def test_negative_queue_depth_rejected(self, sim, clock):
+        with pytest.raises(SimulationError, match="queue_depth"):
+            MainMemory(sim, clock, num_banks=2, queue_depth=-1)
+
+
+class TestFrFcfsScheduler:
+    """``scheduler="frfcfs"`` — first-ready FCFS bank scheduling on top of
+    the open-row model."""
+
+    def make(self, sim, clock, scheduler, queue_depth=0):
+        return make_banked(
+            sim, clock, gap=10, banks=1, row_bytes=1024,
+            row_hit=50, row_miss=200, scheduler=scheduler,
+            queue_depth=queue_depth,
+        )
+
+    def test_row_hit_is_served_before_an_older_miss(self, sim, clock):
+        memory = self.make(sim, clock, "frfcfs")
+        done = []
+        memory.read(0x0, lambda _d: done.append(("a", sim.now)))    # row 0
+        memory.read(1024, lambda _d: done.append(("b", sim.now)))   # row 1
+        memory.read(0x40, lambda _d: done.append(("c", sim.now)))   # row 0
+        sim.run()
+        # FR-FCFS promotes c past b while row 0 is open: a misses (200),
+        # c hits (granted at gap 10, +50), b misses last (granted 20, +200)
+        assert sorted(done, key=lambda e: e[1]) == [
+            ("c", 60_000), ("a", 200_000), ("b", 220_000)
+        ]
+        assert memory.stats["row_hits"] == 1
+        assert memory.stats["row_misses"] == 2
+        assert memory._banks[0].fr.promotions == 1
+
+    def test_fifo_services_the_same_pattern_in_order(self, sim, clock):
+        memory = self.make(sim, clock, "fifo")
+        done = []
+        memory.read(0x0, lambda _d: done.append(sim.now))
+        memory.read(1024, lambda _d: done.append(sim.now))
+        memory.read(0x40, lambda _d: done.append(sim.now))
+        sim.run()
+        # in arrival order every access changes the open row: all misses
+        assert memory.stats["row_misses"] == 3
+        assert memory.stats["row_hits"] == 0
+
+    def test_promoted_overflow_access_joins_the_frfcfs_queue(self, sim, clock):
+        memory = self.make(sim, clock, "frfcfs", queue_depth=1)
+        done = []
+        for i in range(3):
+            memory.read(i * 0x40, lambda _d: done.append(sim.now))  # row 0
+        sim.run()
+        assert len(done) == 3
+        assert memory.stats["queue_overflows"] == 1
+        assert memory.stats["row_hits"] == 2
+
+    def test_frfcfs_requires_the_open_row_model(self, sim, clock):
+        with pytest.raises(SimulationError, match="open-row"):
+            MainMemory(sim, clock, num_banks=2, scheduler="frfcfs")
+
+    def test_unknown_scheduler_rejected(self, sim, clock):
+        with pytest.raises(SimulationError, match="unknown memory scheduler"):
+            MainMemory(sim, clock, num_banks=2, scheduler="lifo")

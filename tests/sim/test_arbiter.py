@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim.arbiter import DEFAULT_CLASS, WrrArbiter, class_of_kind
+from repro.sim.arbiter import (
+    DEFAULT_CLASS,
+    FrFcfsQueue,
+    WrrArbiter,
+    class_of_kind,
+)
 
 
 def drain(arb: WrrArbiter) -> list:
@@ -115,6 +120,63 @@ class TestClassManagement:
         arb.enqueue("cpu", "b")
         arb.pick()
         assert (arb.enqueued, arb.grants) == (2, 1)
+
+
+class TestFrFcfsQueue:
+    """First-ready FCFS pick order for one DRAM bank."""
+
+    ROW = staticmethod(lambda item: item[0])
+
+    def test_empty_pick_returns_none(self):
+        assert FrFcfsQueue("b0").pick(None, self.ROW) is None
+
+    def test_no_open_row_degenerates_to_fcfs(self):
+        queue = FrFcfsQueue("b0")
+        for item in [(1, "a"), (0, "b"), (1, "c")]:
+            queue.enqueue(item)
+        assert queue.pick(None, self.ROW) == (1, "a")
+        assert queue.promotions == 0
+
+    def test_oldest_row_hit_is_promoted(self):
+        queue = FrFcfsQueue("b0")
+        for item in [(1, "miss"), (0, "hit1"), (0, "hit2")]:
+            queue.enqueue(item)
+        assert queue.pick(0, self.ROW) == (0, "hit1")
+        assert queue.promotions == 1
+        # the bypassed row-miss access stays oldest in the FIFO
+        assert queue.pick(None, self.ROW) == (1, "miss")
+
+    def test_streak_cap_forces_the_oldest_access(self):
+        queue = FrFcfsQueue("b0", row_streak_cap=2)
+        for item in [(1, "starving"), (0, "h1"), (0, "h2"), (0, "h3")]:
+            queue.enqueue(item)
+        assert queue.pick(0, self.ROW) == (0, "h1")
+        queue.note_row(hit=True)
+        assert queue.pick(0, self.ROW) == (0, "h2")
+        queue.note_row(hit=True)
+        # streak at the cap: the starving row-miss access must go next
+        assert queue.pick(0, self.ROW) == (1, "starving")
+        queue.note_row(hit=False)
+        # the serviced miss reset the streak; row-hit service resumes
+        assert queue.pick(0, self.ROW) == (0, "h3")
+        assert queue.promotions == 2
+
+    def test_head_of_queue_row_hit_is_not_a_promotion(self):
+        queue = FrFcfsQueue("b0")
+        queue.enqueue((0, "head"))
+        queue.enqueue((1, "tail"))
+        assert queue.pick(0, self.ROW) == (0, "head")
+        assert queue.promotions == 0
+
+    def test_pending_and_len(self):
+        queue = FrFcfsQueue("b0")
+        queue.enqueue((0, "a"))
+        queue.enqueue((1, "b"))
+        assert queue.pending() == 2 and len(queue) == 2
+
+    def test_invalid_streak_cap_rejected(self):
+        with pytest.raises(ValueError, match="streak cap"):
+            FrFcfsQueue("b0", row_streak_cap=0)
 
 
 class TestClassOfKind:

@@ -37,6 +37,14 @@ class TestRoundTrip:
         restored = config_from_dict(config_to_dict(config))
         assert restored == config
 
+    def test_bounded_preset_round_trips(self):
+        config = SystemConfig.bounded(policy=PRESETS["sharers"])
+        restored = config_from_dict(config_to_dict(config))
+        assert restored == config
+        assert restored.input_queue_depth == config.input_queue_depth
+        assert restored.mem_scheduler == "frfcfs"
+        assert restored.watchdog_window_cycles == config.watchdog_window_cycles
+
     def test_file_round_trip(self, tmp_path):
         config = SystemConfig.small(policy=PRESETS["llcWB"])
         path = tmp_path / "config.json"
@@ -134,6 +142,34 @@ def _policy():
     )
 
 
+def _flow_control(config):
+    """Layer randomized flow-control knobs onto a base config, constrained
+    to the combinations ``validate()`` accepts: bounded input queues need
+    the finite-bandwidth links, bounded bank queues need the banked
+    controller, and FR-FCFS needs the open-row model."""
+    import dataclasses
+
+    banked = config.mem_banks > 1 or config.mem_row_bytes > 0
+    return st.tuples(
+        st.sampled_from([0, 1, 4]) if config.link_bytes_per_cycle
+        else st.just(0),
+        st.booleans(),
+        st.sampled_from([0, 2, 8]) if banked else st.just(0),
+        st.sampled_from(["fifo", "frfcfs"]) if config.mem_row_bytes
+        else st.just("fifo"),
+        st.sampled_from([0.0, 50_000.0, 200_000.0]),
+    ).map(
+        lambda knobs: dataclasses.replace(
+            config,
+            input_queue_depth=knobs[0],
+            arbitrate_tcc_ports=knobs[1],
+            mem_queue_depth=knobs[2],
+            mem_scheduler=knobs[3],
+            watchdog_window_cycles=knobs[4],
+        )
+    )
+
+
 def _system_config():
     return st.builds(
         SystemConfig,
@@ -165,7 +201,7 @@ def _system_config():
         gpu_tcc_writeback=st.booleans(),
         max_wavefronts_per_cu=st.integers(min_value=1, max_value=8),
         dma_max_outstanding=st.integers(min_value=1, max_value=8),
-    )
+    ).flatmap(_flow_control)
 
 
 class TestConfigProperties:

@@ -88,6 +88,37 @@ class TestResume:
         assert len(Corpus(corpus_dir)) >= small.new_entries
 
 
+class TestDirectedCampaign:
+    def test_targets_are_tracked_and_reported(self, tmp_path):
+        """Directed mode biases generation via profile_for_targets and
+        reports which target rows any swept policy reached.  The target
+        here is one the directed seed-1 stream hits by slot 12."""
+        target = ("dir-table1", "S", "DirEvict")
+        result = run_campaign(
+            seed=1, budget=13, corpus_dir=str(tmp_path / "c"),
+            policies=["sharers"], jobs=2, minimize_runs=40,
+            targets=[target],
+        )
+        assert result.targets == [target]
+        assert target in result.targets_hit
+        assert "HIT" in result.describe()
+
+    def test_directed_and_default_campaigns_diverge(self, tmp_path):
+        """A directed campaign must actually change the generated stream
+        (different corpus digest than the default campaign at the same
+        seed and budget)."""
+        default = run_campaign(
+            seed=3, budget=8, corpus_dir=str(tmp_path / "default"),
+            policies=["baseline"], jobs=2, minimize_runs=40,
+        )
+        directed = run_campaign(
+            seed=3, budget=8, corpus_dir=str(tmp_path / "directed"),
+            policies=["baseline"], jobs=2, minimize_runs=40,
+            targets=[("corepair-moesi", "M", "Evict")],
+        )
+        assert directed.corpus_digest != default.corpus_digest
+
+
 class TestStoreBackedCampaign:
     def test_warm_rerun_matches_cold(self, tmp_path):
         with ResultStore(tmp_path / "results.sqlite") as store:

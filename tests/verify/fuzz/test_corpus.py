@@ -116,19 +116,21 @@ class TestMinimizeEntry:
         assert first.digest() == second.digest()
 
     def test_empty_slot_cleanup_is_validated(self):
-        """Regression: iteration 82 of the seed-0 campaign shrinks to a
-        shape whose claimed row survives only while two emptied GPU wave
-        slots still exist (agent count shifts every downstream tie-break).
-        The final strip of empty slots must be re-validated, not assumed
-        cosmetic — it used to ship a corpus entry that failed replay."""
-        test, schedule = generate_case(0, 82)
+        """Regression: a seed-0 campaign slot shrinks to a shape whose
+        claimed row survives only while emptied agent slots still exist
+        (agent count shifts every downstream tie-break).  The final strip
+        of empty slots must be re-validated, not assumed cosmetic — it
+        used to ship a corpus entry that failed replay.  (The pinned
+        iteration tracks the generator: it must claim the row below and
+        shrink to a shape that still carries an emptied slot.)"""
+        test, schedule = generate_case(0, 189)
         target = ("dir-fig2/stateless", "B_U", "DMAWr")
         outcome = run_litmus(
             test, policy_name="baseline", schedule=schedule, coverage=True
         )
         assert target in set(outcome.coverage)
         entry = CorpusEntry.make(test, schedule, "baseline", [target],
-                                 seed=0, iteration=82)
+                                 seed=0, iteration=189)
         shrunk = minimize_entry(entry, max_runs=200)
         replay = shrunk.replay()
         assert replay.ok
